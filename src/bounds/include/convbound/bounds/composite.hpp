@@ -1,0 +1,38 @@
+// General I/O lower-bound theory for composite algorithms (Section 4.1).
+//
+// A composite algorithm is a multi-step partition G_1..G_n of a DAG. Each
+// step j contributes two maximum vertex-generation functions:
+//   phi_j(k) — most vertices of U_j generable from k dominator inputs,
+//   psi_j(k) — most vertices of the step's *output set* so generable.
+// Theorem 4.5 bounds any S-partition class size by
+//   T(S) = S + max_{sum k_j <= S} phi_1(k_1) + phi_2(k_2 + psi_1(k_1)) + ...
+// and Theorem 4.6 turns that into the I/O bound Q >= S*(|V|/T(2S) - 1).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace convbound {
+
+/// One step of a multi-step partition. Both callbacks must be monotone
+/// non-decreasing (they are maxima over growing input sets).
+struct SubComputation {
+  std::function<double(double)> phi;
+  std::function<double(double)> psi;
+};
+
+/// Evaluates T(S) of Equation (5) by maximising over the budget simplex
+/// {k_1 + ... + k_n <= S} on a regular grid with `grid` points per axis.
+/// Because every phi/psi is monotone, the optimum uses the whole budget, so
+/// the last step receives the remaining budget exactly.
+double composite_T(std::span<const SubComputation> steps, double S,
+                   int grid = 96);
+
+/// Theorem 4.6: Q >= S * (|V| / T(2S) - 1), where |V| counts the DAG's
+/// internal + output vertices covered by the S-partition argument.
+double composite_lower_bound(double num_vertices, double S,
+                             std::span<const SubComputation> steps,
+                             int grid = 96);
+
+}  // namespace convbound

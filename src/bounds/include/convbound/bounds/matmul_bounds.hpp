@@ -1,0 +1,20 @@
+// Classical Hong-Kung style matrix-multiplication I/O bound, used purely as
+// a cross-check of the pebble-game engine against known theory.
+#pragma once
+
+#include <cstdint>
+
+namespace convbound {
+
+/// Lower bound on Q (elements) for C = A*B with A m-by-k, B k-by-n on a
+/// machine with fast memory S, in the classical Hong-Kung constant
+/// Q >= m*k*n / (2*sqrt(2)*sqrt(S)).
+double matmul_lower_bound(std::int64_t m, std::int64_t k, std::int64_t n,
+                          double S);
+
+/// I/O of the canonical square-tiled schedule (tiles of sqrt(S/3)):
+/// ~ 2*m*k*n/sqrt(S/3) + output writes. Upper bound for sandwiching tests.
+double matmul_tiled_io(std::int64_t m, std::int64_t k, std::int64_t n,
+                       double S);
+
+}  // namespace convbound

@@ -1,0 +1,49 @@
+#include "convbound/bounds/composite.hpp"
+
+#include <algorithm>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+namespace {
+
+/// Recursively assigns budget to steps j..n-1 given `carry` = psi-forwarded
+/// vertices from previous steps, returning the best achievable phi sum.
+double best_tail(std::span<const SubComputation> steps, std::size_t j,
+                 double budget, double carry, int grid) {
+  const auto& step = steps[j];
+  if (j + 1 == steps.size()) {
+    // Monotonicity: give the final step everything that is left.
+    return step.phi(budget + carry);
+  }
+  double best = 0;
+  for (int g = 0; g <= grid; ++g) {
+    const double kj = budget * static_cast<double>(g) / grid;
+    const double here = step.phi(kj + carry);
+    const double forwarded = step.psi(kj + carry);
+    const double rest =
+        best_tail(steps, j + 1, budget - kj, forwarded, grid);
+    best = std::max(best, here + rest);
+  }
+  return best;
+}
+
+}  // namespace
+
+double composite_T(std::span<const SubComputation> steps, double S,
+                   int grid) {
+  CB_CHECK(!steps.empty());
+  CB_CHECK(S > 0);
+  CB_CHECK(grid >= 2);
+  return S + best_tail(steps, 0, S, 0.0, grid);
+}
+
+double composite_lower_bound(double num_vertices, double S,
+                             std::span<const SubComputation> steps,
+                             int grid) {
+  const double T2S = composite_T(steps, 2 * S, grid);
+  return std::max(0.0, S * (num_vertices / T2S - 1.0));
+}
+
+}  // namespace convbound

@@ -1,0 +1,25 @@
+#include "convbound/bounds/matmul_bounds.hpp"
+
+#include <cmath>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+double matmul_lower_bound(std::int64_t m, std::int64_t k, std::int64_t n,
+                          double S) {
+  CB_CHECK(m > 0 && k > 0 && n > 0 && S > 0);
+  return static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n) / (2.0 * std::sqrt(2.0) * std::sqrt(S));
+}
+
+double matmul_tiled_io(std::int64_t m, std::int64_t k, std::int64_t n,
+                       double S) {
+  CB_CHECK(m > 0 && k > 0 && n > 0 && S > 3);
+  const double t = std::sqrt(S / 3.0);
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+             static_cast<double>(n) / t +
+         static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace convbound

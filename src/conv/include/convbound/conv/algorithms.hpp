@@ -1,0 +1,48 @@
+// Unified entry point over all convolution implementations.
+#pragma once
+
+#include <string>
+
+#include "convbound/conv/conv_config.hpp"
+#include "convbound/conv/direct.hpp"
+#include "convbound/conv/winograd.hpp"
+
+namespace convbound {
+
+enum class ConvAlgorithm {
+  kDirectTiled,     ///< paper dataflow, Section 5.2 (tunable)
+  kDirectNaive,     ///< generic direct kernel (baseline component)
+  kIm2col,          ///< im2col + GEMM (baseline component)
+  kCudnnDirect,     ///< best of {kDirectNaive, kIm2col} — the paper's cuDNN
+                    ///< direct-convolution comparison point
+  kWinogradFused,   ///< paper dataflow, Section 5.3 (tunable)
+  kWinogradPhased,  ///< cuDNN-style Winograd baseline
+};
+
+std::string to_string(ConvAlgorithm algo);
+
+/// True when `algo` can run `s` (Winograd needs square kernels, stride 1).
+bool algorithm_supports(ConvAlgorithm algo, const ConvShape& s);
+
+struct ConvResult {
+  Tensor4<float> output;
+  LaunchStats stats;
+};
+
+/// Runs `algo` on the simulated machine. `cfg` is honoured by the tunable
+/// algorithms and ignored by the baselines; `e` selects the Winograd
+/// variant F(e x e, r x r).
+ConvResult run_conv(SimGpu& gpu, ConvAlgorithm algo,
+                    const Tensor4<float>& input, const Tensor4<float>& weights,
+                    const ConvShape& s, const ConvConfig& cfg = {},
+                    std::int64_t e = 2);
+
+/// Default untuned-but-sane config for the tiled dataflow: the optimality
+/// condition tile x*y = R*z under the budget S_sm/(2 * elements).
+ConvConfig default_tiled_config(const ConvShape& s, const MachineSpec& spec);
+
+/// Same for the fused Winograd dataflow (tile budget from Section 5.3).
+ConvConfig default_winograd_config(const ConvShape& s, std::int64_t e,
+                                   const MachineSpec& spec);
+
+}  // namespace convbound

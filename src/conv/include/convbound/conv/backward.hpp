@@ -1,0 +1,40 @@
+// Training-mode convolutions: gradients w.r.t. the input (backward-data)
+// and the weights (backward-weights).
+//
+// Both are themselves convolutions, so the paper's lower bounds and the
+// optimality condition apply after a shape mapping:
+//   backward-data    ≙ correlation of the (stride-dilated) output gradient
+//                      with the spatially flipped kernel;
+//   backward-weights ≙ correlation of the input with the output gradient,
+//                      producing a kh x kw "image" per (cout, cin) pair.
+// The *_equivalent_shape helpers expose those mappings so callers can price
+// training steps with the same Thm 4.12 machinery used for inference.
+#pragma once
+
+#include "convbound/tensor/conv_shape.hpp"
+#include "convbound/tensor/tensor.hpp"
+
+namespace convbound {
+
+/// dL/dinput given dL/doutput ("grad_out" is [batch, cout, hout, wout]).
+/// Reference host implementation (the oracle for gradient tests).
+Tensor4<float> conv2d_backward_data_ref(const Tensor4<float>& grad_out,
+                                        const Tensor4<float>& weights,
+                                        const ConvShape& s);
+
+/// dL/dweights given the forward input and dL/doutput.
+Tensor4<float> conv2d_backward_weights_ref(const Tensor4<float>& input,
+                                           const Tensor4<float>& grad_out,
+                                           const ConvShape& s);
+
+/// The forward-convolution shape whose I/O cost model matches the
+/// backward-data pass (full correlation of the dilated grad with the
+/// flipped kernel). Only defined for groups == 1.
+ConvShape backward_data_equivalent_shape(const ConvShape& s);
+
+/// Ditto for backward-weights: a "convolution" whose outputs are the
+/// kh*kw*cin*cout weight gradients and whose reduction runs over the
+/// batch * hout * wout samples.
+ConvShape backward_weights_equivalent_shape(const ConvShape& s);
+
+}  // namespace convbound

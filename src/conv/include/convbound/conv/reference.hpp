@@ -1,0 +1,24 @@
+// Naive host convolution used as the correctness oracle for every simulated
+// kernel.
+#pragma once
+
+#include "convbound/tensor/conv_shape.hpp"
+#include "convbound/tensor/tensor.hpp"
+
+namespace convbound {
+
+/// Direct 7-loop convolution. `input` is [batch, cin, hin, win] in any
+/// layout; `weights` is [cout, cin, kh, kw] (layout field ignored; logical
+/// indexing). Returns [batch, cout, hout, wout] in NCHW.
+Tensor4<float> conv2d_ref(const Tensor4<float>& input,
+                          const Tensor4<float>& weights, const ConvShape& s);
+
+/// Makes a deterministic random problem instance (input + weights).
+struct ConvProblem {
+  Tensor4<float> input;
+  Tensor4<float> weights;
+};
+ConvProblem make_problem(const ConvShape& s, std::uint64_t seed,
+                         Layout layout = Layout::kNCHW);
+
+}  // namespace convbound

@@ -1,0 +1,119 @@
+#include "convbound/conv/backward.hpp"
+
+namespace convbound {
+
+Tensor4<float> conv2d_backward_data_ref(const Tensor4<float>& grad_out,
+                                        const Tensor4<float>& weights,
+                                        const ConvShape& s) {
+  s.validate();
+  CB_CHECK(grad_out.n() == s.batch && grad_out.c() == s.cout &&
+           grad_out.h() == s.hout() && grad_out.w() == s.wout());
+  CB_CHECK(weights.n() == s.cout && weights.c() == s.cin_per_group() &&
+           weights.h() == s.kh && weights.w() == s.kw);
+
+  Tensor4<float> grad_in(s.batch, s.cin, s.hin, s.win);
+  grad_in.fill(0.0f);
+  const std::int64_t cpg = s.cin_per_group();
+  // Scatter formulation: every output gradient contributes to the inputs
+  // inside its receptive field — transposing the forward loop is the least
+  // error-prone reference.
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t oc = 0; oc < s.cout; ++oc) {
+      const std::int64_t c0 = (oc / s.cout_per_group()) * cpg;
+      for (std::int64_t oh = 0; oh < s.hout(); ++oh) {
+        for (std::int64_t ow = 0; ow < s.wout(); ++ow) {
+          const float g = grad_out(b, oc, oh, ow);
+          for (std::int64_t dc = 0; dc < cpg; ++dc) {
+            for (std::int64_t fh = 0; fh < s.kh; ++fh) {
+              for (std::int64_t fw = 0; fw < s.kw; ++fw) {
+                const std::int64_t ih = oh * s.stride + fh - s.pad;
+                const std::int64_t iw = ow * s.stride + fw - s.pad;
+                if (ih < 0 || ih >= s.hin || iw < 0 || iw >= s.win) continue;
+                grad_in(b, c0 + dc, ih, iw) += g * weights(oc, dc, fh, fw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor4<float> conv2d_backward_weights_ref(const Tensor4<float>& input,
+                                           const Tensor4<float>& grad_out,
+                                           const ConvShape& s) {
+  s.validate();
+  CB_CHECK(input.n() == s.batch && input.c() == s.cin &&
+           input.h() == s.hin && input.w() == s.win);
+  CB_CHECK(grad_out.n() == s.batch && grad_out.c() == s.cout &&
+           grad_out.h() == s.hout() && grad_out.w() == s.wout());
+
+  Tensor4<float> grad_w(s.cout, s.cin_per_group(), s.kh, s.kw);
+  grad_w.fill(0.0f);
+  const std::int64_t cpg = s.cin_per_group();
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t oc = 0; oc < s.cout; ++oc) {
+      const std::int64_t c0 = (oc / s.cout_per_group()) * cpg;
+      for (std::int64_t oh = 0; oh < s.hout(); ++oh) {
+        for (std::int64_t ow = 0; ow < s.wout(); ++ow) {
+          const float g = grad_out(b, oc, oh, ow);
+          for (std::int64_t dc = 0; dc < cpg; ++dc) {
+            for (std::int64_t fh = 0; fh < s.kh; ++fh) {
+              for (std::int64_t fw = 0; fw < s.kw; ++fw) {
+                const std::int64_t ih = oh * s.stride + fh - s.pad;
+                const std::int64_t iw = ow * s.stride + fw - s.pad;
+                if (ih < 0 || ih >= s.hin || iw < 0 || iw >= s.win) continue;
+                grad_w(oc, dc, fh, fw) += g * input(b, c0 + dc, ih, iw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_w;
+}
+
+ConvShape backward_data_equivalent_shape(const ConvShape& s) {
+  s.validate();
+  CB_CHECK_MSG(s.groups == 1, "mapping defined for groups == 1");
+  // Full correlation of the stride-dilated (hout x wout) gradient with the
+  // flipped kernel: logically an image of the dilated extent, cout input
+  // channels, cin output channels, stride 1, full padding.
+  ConvShape b;
+  b.batch = s.batch;
+  b.cin = s.cout;
+  b.hin = (s.hout() - 1) * s.stride + 1;
+  b.win = (s.wout() - 1) * s.stride + 1;
+  b.cout = s.cin;
+  b.kh = s.kh;
+  b.kw = s.kw;
+  b.stride = 1;
+  b.pad = s.kh - 1;
+  // The padded extent must recover the forward input (without the forward
+  // padding ring): hin = dilated + 2*(k-1) - (k-1) = dilated + k - 1.
+  b.validate();
+  return b;
+}
+
+ConvShape backward_weights_equivalent_shape(const ConvShape& s) {
+  s.validate();
+  CB_CHECK_MSG(s.groups == 1, "mapping defined for groups == 1");
+  // Correlation of the input image with the output gradient used as a
+  // (hout x wout) "kernel": one kh x kw output plane per (cout, cin) pair.
+  ConvShape b;
+  b.batch = s.batch;
+  b.cin = s.cout;  // reduction over output channels' gradients
+  b.hin = s.hin + 2 * s.pad;
+  b.win = s.win + 2 * s.pad;
+  b.cout = s.cin;
+  b.kh = s.hout();
+  b.kw = s.wout();
+  b.stride = 1;
+  b.pad = 0;
+  b.validate();
+  return b;
+}
+
+}  // namespace convbound

@@ -1,0 +1,77 @@
+#include <algorithm>
+
+#include "convbound/conv/direct.hpp"
+#include "convbound/util/math.hpp"
+#include "tile_io.hpp"
+
+namespace convbound {
+
+LaunchStats direct_naive_sim(SimGpu& gpu, const Tensor4<float>& input,
+                             const Tensor4<float>& weights, const ConvShape& s,
+                             Tensor4<float>& out) {
+  s.validate();
+  const std::int64_t hout = s.hout(), wout = s.wout();
+  const std::int64_t x = std::min<std::int64_t>(8, hout);
+  const std::int64_t y = std::min<std::int64_t>(8, wout);
+  const std::int64_t nx = ceil_div(hout, x), ny = ceil_div(wout, y);
+  const std::int64_t in_rows = (x - 1) * s.stride + s.kh;
+  const std::int64_t in_cols = (y - 1) * s.stride + s.kw;
+  const std::int64_t kker = s.kh * s.kw;
+
+  LaunchConfig lc;
+  lc.num_blocks = s.batch * s.cout * nx * ny;
+  lc.threads_per_block = 64;
+  lc.smem_bytes_per_block =
+      (x * y + in_rows * in_cols + kker) *
+      static_cast<std::int64_t>(sizeof(float));
+
+  return gpu.launch(lc, [&, x, y](BlockContext& ctx) {
+    std::int64_t id = ctx.block_id();
+    const std::int64_t iy = id % ny; id /= ny;
+    const std::int64_t ix = id % nx; id /= nx;
+    const std::int64_t oc = id % s.cout; id /= s.cout;
+    const std::int64_t b = id;
+    const std::int64_t oh0 = ix * x, ow0 = iy * y;
+    const std::int64_t ex = std::min(x, hout - oh0);
+    const std::int64_t ey = std::min(y, wout - ow0);
+
+    auto acc = ctx.smem().alloc<float>(static_cast<std::size_t>(x * y));
+    auto tile =
+        ctx.smem().alloc<float>(static_cast<std::size_t>(in_rows * in_cols));
+    auto wbuf = ctx.smem().alloc<float>(static_cast<std::size_t>(kker));
+    std::fill(acc.begin(), acc.end(), 0.0f);
+
+    const std::int64_t rows_eff = (ex - 1) * s.stride + s.kh;
+    const std::int64_t cols_eff = (ey - 1) * s.stride + s.kw;
+
+    const std::int64_t cpg = s.cin_per_group();
+    const std::int64_t c_base = (oc / s.cout_per_group()) * cpg;
+    for (std::int64_t dc = 0; dc < cpg; ++dc) {
+      // z = 1: the same input tile is re-fetched for every output channel.
+      detail::load_input_tile(ctx, input, b, c_base + dc,
+                              oh0 * s.stride - s.pad, ow0 * s.stride - s.pad,
+                              rows_eff, cols_eff, tile.data());
+      ctx.load(weights.data() + weights.index(oc, dc, 0, 0), wbuf.data(),
+               static_cast<std::size_t>(kker));
+      for (std::int64_t dx = 0; dx < ex; ++dx) {
+        for (std::int64_t dy = 0; dy < ey; ++dy) {
+          float sum = 0.0f;
+          const float* base =
+              tile.data() + dx * s.stride * cols_eff + dy * s.stride;
+          for (std::int64_t fh = 0; fh < s.kh; ++fh) {
+            const float* trow = base + fh * cols_eff;
+            const float* wrow = wbuf.data() + fh * s.kw;
+            for (std::int64_t fw = 0; fw < s.kw; ++fw)
+              sum += trow[fw] * wrow[fw];
+          }
+          acc[static_cast<std::size_t>(dx * y + dy)] += sum;
+        }
+      }
+      ctx.add_flops(static_cast<std::uint64_t>(2 * ex * ey * kker));
+    }
+    detail::store_output_tile(ctx, out, b, oc, oh0, ow0, ex, ey, acc.data(),
+                              y);
+  });
+}
+
+}  // namespace convbound

@@ -1,0 +1,52 @@
+#include "convbound/conv/reference.hpp"
+
+namespace convbound {
+
+Tensor4<float> conv2d_ref(const Tensor4<float>& input,
+                          const Tensor4<float>& weights, const ConvShape& s) {
+  s.validate();
+  CB_CHECK(input.n() == s.batch && input.c() == s.cin && input.h() == s.hin &&
+           input.w() == s.win);
+  CB_CHECK(weights.n() == s.cout && weights.c() == s.cin_per_group() &&
+           weights.h() == s.kh && weights.w() == s.kw);
+
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const std::int64_t cpg = s.cin_per_group();
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t oc = 0; oc < s.cout; ++oc) {
+      const std::int64_t c0 = (oc / s.cout_per_group()) * cpg;
+      for (std::int64_t oh = 0; oh < s.hout(); ++oh) {
+        for (std::int64_t ow = 0; ow < s.wout(); ++ow) {
+          double acc = 0;
+          for (std::int64_t dc = 0; dc < cpg; ++dc) {
+            const std::int64_t c = c0 + dc;
+            for (std::int64_t fh = 0; fh < s.kh; ++fh) {
+              for (std::int64_t fw = 0; fw < s.kw; ++fw) {
+                const std::int64_t ih = oh * s.stride + fh - s.pad;
+                const std::int64_t iw = ow * s.stride + fw - s.pad;
+                if (ih < 0 || ih >= s.hin || iw < 0 || iw >= s.win) continue;
+                acc += static_cast<double>(input(b, c, ih, iw)) *
+                       static_cast<double>(weights(oc, dc, fh, fw));
+              }
+            }
+          }
+          out(b, oc, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConvProblem make_problem(const ConvShape& s, std::uint64_t seed,
+                         Layout layout) {
+  s.validate();
+  Rng rng(seed);
+  ConvProblem p{Tensor4<float>(s.batch, s.cin, s.hin, s.win, layout),
+                Tensor4<float>(s.cout, s.cin_per_group(), s.kh, s.kw)};
+  p.input.fill_random(rng);
+  p.weights.fill_random(rng);
+  return p;
+}
+
+}  // namespace convbound

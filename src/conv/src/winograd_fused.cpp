@@ -1,0 +1,138 @@
+#include <algorithm>
+
+#include "convbound/conv/winograd.hpp"
+#include "convbound/util/math.hpp"
+#include "tile_io.hpp"
+
+namespace convbound {
+
+std::int64_t winograd_fused_smem_bytes(const ConvShape& s, std::int64_t e,
+                                       const ConvConfig& cfg) {
+  const std::int64_t r = s.kh;
+  const std::int64_t a = e + r - 1;
+  const std::int64_t tiles = (cfg.x / e) * (cfg.y / e);
+  const std::int64_t floats = tiles * cfg.z * a * a        // Pi accumulators
+                              + (cfg.x + r - 1) * (cfg.y + r - 1)  // input
+                              + cfg.z * r * r              // kernel slices
+                              + cfg.z * a * a              // U cache
+                              + 2 * a * a;                 // V + scratch
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+LaunchStats winograd_fused_sim(SimGpu& gpu, const Tensor4<float>& input,
+                               const Tensor4<float>& weights,
+                               const ConvShape& s, std::int64_t e,
+                               const ConvConfig& cfg, Tensor4<float>& out) {
+  s.validate();
+  CB_CHECK_MSG(s.groups == 1, "grouped convolution: use the tiled direct kernel");
+  CB_CHECK(s.kh == s.kw && s.stride == 1);
+  const std::int64_t r = s.kh;
+  const auto t = make_winograd_transform(e, r);
+  const std::int64_t a = t.a, a2 = a * a, r2 = r * r;
+
+  const std::int64_t hout = s.hout(), wout = s.wout();
+  // Tile dims rounded to multiples of e and clamped to the output.
+  const std::int64_t x =
+      std::clamp<std::int64_t>(round_up(cfg.x, e), e, round_up(hout, e));
+  const std::int64_t y =
+      std::clamp<std::int64_t>(round_up(cfg.y, e), e, round_up(wout, e));
+  const std::int64_t z = std::min(cfg.z, s.cout);
+  const std::int64_t tbx = x / e, tby = y / e;  // winograd tiles per block
+  const std::int64_t total_th = ceil_div(hout, e), total_tw = ceil_div(wout, e);
+  const std::int64_t nbx = ceil_div(total_th, tbx),
+                     nby = ceil_div(total_tw, tby),
+                     nbz = ceil_div(s.cout, z);
+
+  const std::int64_t in_rows = x + r - 1, in_cols = y + r - 1;
+  const std::int64_t smem_floats =
+      tbx * tby * z * a2 + in_rows * in_cols + z * r2 + z * a2 + 2 * a2;
+
+  LaunchConfig lc;
+  lc.num_blocks = s.batch * nbz * nbx * nby;
+  lc.threads_per_block = cfg.threads();
+  const std::int64_t needed =
+      smem_floats * static_cast<std::int64_t>(sizeof(float));
+  lc.smem_bytes_per_block = cfg.smem_budget > 0 ? cfg.smem_budget : needed;
+
+  return gpu.launch(lc, [&, x, y, z](BlockContext& ctx) {
+    std::int64_t id = ctx.block_id();
+    const std::int64_t iby = id % nby; id /= nby;
+    const std::int64_t ibx = id % nbx; id /= nbx;
+    const std::int64_t ibz = id % nbz; id /= nbz;
+    const std::int64_t b = id;
+    const std::int64_t t0h = ibx * tbx, t0w = iby * tby, oc0 = ibz * z;
+    const std::int64_t etx = std::min(tbx, total_th - t0h);
+    const std::int64_t ety = std::min(tby, total_tw - t0w);
+    const std::int64_t ez = std::min(z, s.cout - oc0);
+
+    auto pi = ctx.smem().alloc<float>(
+        static_cast<std::size_t>(tbx * tby * z * a2));
+    auto tile = ctx.smem().alloc<float>(
+        static_cast<std::size_t>(in_rows * in_cols));
+    auto wbuf = ctx.smem().alloc<float>(static_cast<std::size_t>(z * r2));
+    auto ubuf = ctx.smem().alloc<float>(static_cast<std::size_t>(z * a2));
+    auto vbuf = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+    auto scratch = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+    std::fill(pi.begin(), pi.end(), 0.0f);
+
+    const std::int64_t rows_eff = etx * e + r - 1;
+    const std::int64_t cols_eff = ety * e + r - 1;
+
+    for (std::int64_t c = 0; c < s.cin; ++c) {
+      // One input region and z kernel slices per channel step (alpha = 1).
+      detail::load_input_tile(ctx, input, b, c, t0h * e - s.pad,
+                              t0w * e - s.pad, rows_eff, cols_eff,
+                              tile.data());
+      for (std::int64_t dz = 0; dz < ez; ++dz)
+        ctx.load(weights.data() + weights.index(oc0 + dz, c, 0, 0),
+                 wbuf.data() + dz * r2, static_cast<std::size_t>(r2));
+      // Transformed kernels for this channel (recomputed per block — the
+      // recomputation the paper's model permits to save I/O).
+      for (std::int64_t dz = 0; dz < ez; ++dz) {
+        const std::uint64_t macs =
+            wino_sandwich(t.G.data(), a, r, wbuf.data() + dz * r2,
+                          ubuf.data() + dz * a2, scratch.data());
+        ctx.add_flops(2 * macs);
+      }
+      for (std::int64_t ti = 0; ti < etx; ++ti) {
+        for (std::int64_t tj = 0; tj < ety; ++tj) {
+          // V for this winograd tile, from the staged input region.
+          float dtile[64];  // a <= 8
+          for (std::int64_t i = 0; i < a; ++i)
+            for (std::int64_t j = 0; j < a; ++j)
+              dtile[i * a + j] =
+                  tile[static_cast<std::size_t>((ti * e + i) * cols_eff +
+                                                tj * e + j)];
+          const std::uint64_t vmacs = wino_sandwich(
+              t.BT.data(), a, a, dtile, vbuf.data(), scratch.data());
+          ctx.add_flops(2 * vmacs);
+          for (std::int64_t dz = 0; dz < ez; ++dz) {
+            float* acc =
+                pi.data() + ((dz * tbx + ti) * tby + tj) * a2;
+            const float* u = ubuf.data() + dz * a2;
+            for (std::int64_t i = 0; i < a2; ++i) acc[i] += vbuf[static_cast<std::size_t>(i)] * u[i];
+            ctx.add_flops(static_cast<std::uint64_t>(2 * a2));
+          }
+        }
+      }
+    }
+    // Inverse-transform and store each tile's e x e outputs exactly once.
+    for (std::int64_t dz = 0; dz < ez; ++dz) {
+      for (std::int64_t ti = 0; ti < etx; ++ti) {
+        for (std::int64_t tj = 0; tj < ety; ++tj) {
+          float ytile[64];
+          float yscratch[64];
+          const float* acc = pi.data() + ((dz * tbx + ti) * tby + tj) * a2;
+          const std::uint64_t ymacs =
+              wino_sandwich(t.AT.data(), e, a, acc, ytile, yscratch);
+          ctx.add_flops(2 * ymacs);
+          const std::int64_t oh = (t0h + ti) * e, ow = (t0w + tj) * e;
+          detail::store_output_tile(ctx, out, b, oc0 + dz, oh, ow, e, e,
+                                    ytile, e);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace convbound

@@ -1,0 +1,162 @@
+#include <algorithm>
+#include <vector>
+
+#include "convbound/conv/winograd.hpp"
+#include "convbound/gemm/gemm.hpp"
+#include "convbound/util/math.hpp"
+#include "tile_io.hpp"
+
+namespace convbound {
+
+namespace {
+
+constexpr std::int64_t kTileChunk = 64;  ///< winograd tiles per block
+
+}  // namespace
+
+LaunchStats winograd_phased_sim(SimGpu& gpu, const Tensor4<float>& input,
+                                const Tensor4<float>& weights,
+                                const ConvShape& s, std::int64_t e,
+                                Tensor4<float>& out) {
+  s.validate();
+  CB_CHECK_MSG(s.groups == 1, "grouped convolution: use the tiled direct kernel");
+  CB_CHECK(s.kh == s.kw && s.stride == 1);
+  const std::int64_t r = s.kh;
+  const auto t = make_winograd_transform(e, r);
+  const std::int64_t a = t.a, a2 = a * a, r2 = r * r;
+
+  const std::int64_t hout = s.hout(), wout = s.wout();
+  const std::int64_t th = ceil_div(hout, e), tw = ceil_div(wout, e);
+  const std::int64_t ntiles = th * tw;
+
+  // Global scratch tensors (slow memory): U[a2][cout][cin],
+  // V[a2][cin][ntiles], M[a2][cout][ntiles], reused across batch images.
+  std::vector<float> U(static_cast<std::size_t>(a2 * s.cout * s.cin));
+  std::vector<float> V(static_cast<std::size_t>(a2 * s.cin * ntiles));
+  std::vector<float> M(static_cast<std::size_t>(a2 * s.cout * ntiles));
+
+  LaunchStats total;
+
+  // ---- Phase 1: kernel transform (once; kernels are batch-invariant). ----
+  {
+    LaunchConfig lc;
+    lc.num_blocks = s.cout;
+    lc.threads_per_block = 128;
+    lc.smem_bytes_per_block =
+        (r2 + 2 * a2) * static_cast<std::int64_t>(sizeof(float));
+    total += gpu.launch(lc, [&](BlockContext& ctx) {
+      const std::int64_t k = ctx.block_id();
+      auto g = ctx.smem().alloc<float>(static_cast<std::size_t>(r2));
+      auto u = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+      auto scratch = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+      for (std::int64_t c = 0; c < s.cin; ++c) {
+        ctx.load(weights.data() + weights.index(k, c, 0, 0), g.data(),
+                 static_cast<std::size_t>(r2));
+        const std::uint64_t macs = wino_sandwich(t.G.data(), a, r, g.data(),
+                                                 u.data(), scratch.data());
+        ctx.add_flops(2 * macs);
+        // Scatter to U[pos][k][c]: strided by cout*cin per position.
+        for (std::int64_t pos = 0; pos < a2; ++pos)
+          ctx.store_one(
+              U.data() + (pos * s.cout + k) * s.cin + c,
+              u[static_cast<std::size_t>(pos)]);
+      }
+    });
+  }
+
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    // ---- Phase 2: input transform, V[pos][c][tile]. ----
+    {
+      const std::int64_t chunks = ceil_div(ntiles, kTileChunk);
+      LaunchConfig lc;
+      lc.num_blocks = s.cin * chunks;
+      lc.threads_per_block = 128;
+      lc.smem_bytes_per_block =
+          (kTileChunk * a2 + 3 * a2) *
+          static_cast<std::int64_t>(sizeof(float));
+      total += gpu.launch(lc, [&](BlockContext& ctx) {
+        const std::int64_t chunk = ctx.block_id() % chunks;
+        const std::int64_t c = ctx.block_id() / chunks;
+        const std::int64_t tile0 = chunk * kTileChunk;
+        const std::int64_t tiles_here =
+            std::min<std::int64_t>(kTileChunk, ntiles - tile0);
+        auto vchunk = ctx.smem().alloc<float>(
+            static_cast<std::size_t>(kTileChunk * a2));
+        auto d = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+        auto v = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+        auto scratch = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+        for (std::int64_t dt = 0; dt < tiles_here; ++dt) {
+          const std::int64_t tile = tile0 + dt;
+          const std::int64_t ti = tile / tw, tj = tile % tw;
+          // Phased kernels re-read halo rows per tile (the (a/e)^2 input
+          // amplification the fused dataflow avoids).
+          detail::load_input_tile(ctx, input, b, c, ti * e - s.pad,
+                                  tj * e - s.pad, a, a, d.data());
+          const std::uint64_t macs = wino_sandwich(
+              t.BT.data(), a, a, d.data(), v.data(), scratch.data());
+          ctx.add_flops(2 * macs);
+          for (std::int64_t pos = 0; pos < a2; ++pos)
+            vchunk[static_cast<std::size_t>(pos * kTileChunk + dt)] =
+                v[static_cast<std::size_t>(pos)];
+        }
+        for (std::int64_t pos = 0; pos < a2; ++pos)
+          ctx.store(V.data() + (pos * s.cin + c) * ntiles + tile0,
+                    vchunk.data() + pos * kTileChunk,
+                    static_cast<std::size_t>(tiles_here));
+      });
+    }
+
+    // ---- Phase 3: one GEMM per transformed position:
+    //      M[pos] (cout x ntiles) = U[pos] (cout x cin) * V[pos].
+    for (std::int64_t pos = 0; pos < a2; ++pos) {
+      total += gemm_sim(gpu, U.data() + pos * s.cout * s.cin,
+                        V.data() + pos * s.cin * ntiles,
+                        M.data() + pos * s.cout * ntiles, s.cout, s.cin,
+                        ntiles);
+    }
+
+    // ---- Phase 4: inverse output transform. ----
+    {
+      const std::int64_t chunks = ceil_div(ntiles, kTileChunk);
+      LaunchConfig lc;
+      lc.num_blocks = s.cout * chunks;
+      lc.threads_per_block = 128;
+      lc.smem_bytes_per_block =
+          (kTileChunk * a2 + 3 * a2) *
+          static_cast<std::int64_t>(sizeof(float));
+      total += gpu.launch(lc, [&](BlockContext& ctx) {
+        const std::int64_t chunk = ctx.block_id() % chunks;
+        const std::int64_t k = ctx.block_id() / chunks;
+        const std::int64_t tile0 = chunk * kTileChunk;
+        const std::int64_t tiles_here =
+            std::min<std::int64_t>(kTileChunk, ntiles - tile0);
+        auto mchunk = ctx.smem().alloc<float>(
+            static_cast<std::size_t>(kTileChunk * a2));
+        auto pi = ctx.smem().alloc<float>(static_cast<std::size_t>(a2));
+        auto y = ctx.smem().alloc<float>(
+            static_cast<std::size_t>(t.e * t.e));
+        auto scratch = ctx.smem().alloc<float>(
+            static_cast<std::size_t>(t.e * a));
+        for (std::int64_t pos = 0; pos < a2; ++pos)
+          ctx.load(M.data() + (pos * s.cout + k) * ntiles + tile0,
+                   mchunk.data() + pos * kTileChunk,
+                   static_cast<std::size_t>(tiles_here));
+        for (std::int64_t dt = 0; dt < tiles_here; ++dt) {
+          const std::int64_t tile = tile0 + dt;
+          const std::int64_t ti = tile / tw, tj = tile % tw;
+          for (std::int64_t pos = 0; pos < a2; ++pos)
+            pi[static_cast<std::size_t>(pos)] =
+                mchunk[static_cast<std::size_t>(pos * kTileChunk + dt)];
+          const std::uint64_t macs = wino_sandwich(
+              t.AT.data(), e, a, pi.data(), y.data(), scratch.data());
+          ctx.add_flops(2 * macs);
+          detail::store_output_tile(ctx, out, b, k, ti * e, tj * e, e, e,
+                                    y.data(), e);
+        }
+      });
+    }
+  }
+  return total;
+}
+
+}  // namespace convbound

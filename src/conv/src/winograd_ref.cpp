@@ -1,0 +1,73 @@
+#include <vector>
+
+#include "convbound/conv/winograd.hpp"
+#include "convbound/util/math.hpp"
+
+namespace convbound {
+
+Tensor4<float> winograd_ref(const Tensor4<float>& input,
+                            const Tensor4<float>& weights, const ConvShape& s,
+                            std::int64_t e) {
+  s.validate();
+  CB_CHECK_MSG(s.kh == s.kw, "Winograd requires square kernels");
+  CB_CHECK_MSG(s.stride == 1, "Winograd requires stride 1");
+  const std::int64_t r = s.kh;
+  const auto t = make_winograd_transform(e, r);
+  const std::int64_t a = t.a;
+
+  const std::int64_t hout = s.hout(), wout = s.wout();
+  const std::int64_t th = ceil_div(hout, e), tw = ceil_div(wout, e);
+  Tensor4<float> out(s.batch, s.cout, hout, wout);
+
+  std::vector<float> d(static_cast<std::size_t>(a * a));
+  std::vector<float> v(static_cast<std::size_t>(a * a));
+  std::vector<float> u(static_cast<std::size_t>(a * a));
+  std::vector<float> pi(static_cast<std::size_t>(a * a));
+  std::vector<float> y(static_cast<std::size_t>(e * e));
+  std::vector<float> scratch(static_cast<std::size_t>(a * a));
+
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t k = 0; k < s.cout; ++k) {
+      for (std::int64_t ti = 0; ti < th; ++ti) {
+        for (std::int64_t tj = 0; tj < tw; ++tj) {
+          std::fill(pi.begin(), pi.end(), 0.0f);
+          for (std::int64_t c = 0; c < s.cin; ++c) {
+            // Gather the a x a input tile (zero padded).
+            for (std::int64_t i = 0; i < a; ++i) {
+              for (std::int64_t j = 0; j < a; ++j) {
+                const std::int64_t ih = ti * e + i - s.pad;
+                const std::int64_t iw = tj * e + j - s.pad;
+                d[static_cast<std::size_t>(i * a + j)] =
+                    (ih < 0 || ih >= s.hin || iw < 0 || iw >= s.win)
+                        ? 0.0f
+                        : input(b, c, ih, iw);
+              }
+            }
+            wino_sandwich(t.BT.data(), a, a, d.data(), v.data(),
+                          scratch.data());
+            // U = G g G^T.
+            std::vector<float> g(static_cast<std::size_t>(r * r));
+            for (std::int64_t i = 0; i < r; ++i)
+              for (std::int64_t j = 0; j < r; ++j)
+                g[static_cast<std::size_t>(i * r + j)] = weights(k, c, i, j);
+            wino_sandwich(t.G.data(), a, r, g.data(), u.data(),
+                          scratch.data());
+            for (std::int64_t i = 0; i < a * a; ++i)
+              pi[static_cast<std::size_t>(i)] +=
+                  v[static_cast<std::size_t>(i)] *
+                  u[static_cast<std::size_t>(i)];
+          }
+          wino_sandwich(t.AT.data(), e, a, pi.data(), y.data(),
+                        scratch.data());
+          for (std::int64_t i = 0; i < e && ti * e + i < hout; ++i)
+            for (std::int64_t j = 0; j < e && tj * e + j < wout; ++j)
+              out(b, k, ti * e + i, tj * e + j) =
+                  y[static_cast<std::size_t>(i * e + j)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace convbound

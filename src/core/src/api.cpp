@@ -1,0 +1,29 @@
+#include "convbound/convbound.hpp"
+
+#include <algorithm>
+
+namespace convbound {
+
+ConvResult conv2d(SimGpu& gpu, const Tensor4<float>& input,
+                  const Tensor4<float>& weights, const ConvShape& s) {
+  const ConvConfig dc = default_tiled_config(s, gpu.spec());
+  ConvResult direct =
+      run_conv(gpu, ConvAlgorithm::kDirectTiled, input, weights, s, dc);
+  if (!algorithm_supports(ConvAlgorithm::kWinogradFused, s) || s.kh != 3)
+    return direct;
+  const ConvConfig wc = default_winograd_config(s, 2, gpu.spec());
+  ConvResult wino =
+      run_conv(gpu, ConvAlgorithm::kWinogradFused, input, weights, s, wc, 2);
+  return wino.stats.sim_time < direct.stats.sim_time ? std::move(wino)
+                                                     : std::move(direct);
+}
+
+double conv_lower_bound(const ConvShape& s, double S) {
+  double q = direct_conv_lower_bound(s, S);
+  if (algorithm_supports(ConvAlgorithm::kWinogradFused, s)) {
+    q = std::min(q, winograd_lower_bound(s, 2, S));
+  }
+  return q;
+}
+
+}  // namespace convbound

@@ -1,0 +1,39 @@
+// Radix-2 Cooley-Tukey FFT, built from scratch as the substrate for the
+// FFT-based convolution baseline (the other indirect convolution family in
+// cuDNN, alongside Winograd).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace convbound {
+
+using Complex = std::complex<double>;
+
+/// Smallest power of two >= n.
+std::int64_t next_pow2(std::int64_t n);
+
+/// In-place iterative radix-2 FFT. data.size() must be a power of two.
+/// inverse = true computes the unscaled inverse transform (divide by N
+/// yourself, or use ifft()).
+void fft_inplace(std::span<Complex> data, bool inverse = false);
+
+/// Convenience scaled inverse.
+void ifft_inplace(std::span<Complex> data);
+
+/// 2-D FFT over a rows x cols row-major buffer (both dims powers of two).
+void fft2_inplace(std::span<Complex> data, std::int64_t rows,
+                  std::int64_t cols, bool inverse = false);
+
+/// Full linear convolution of two real sequences via FFT (length
+/// a.size() + b.size() - 1). Reference building block for tests.
+std::vector<double> fft_linear_convolve(std::span<const double> a,
+                                        std::span<const double> b);
+
+/// Classical Hong-Kung I/O lower bound for an N-point FFT with fast memory
+/// S: Q = Omega(N log N / log S).
+double fft_lower_bound(std::int64_t n, double S);
+
+}  // namespace convbound

@@ -1,0 +1,31 @@
+// FFT-based convolution on the simulated accelerator (overlap-save tiling,
+// the cuDNN FFT_TILING algorithm family). Stride-1 only, like cuDNN's FFT
+// path. Completes the paper's taxonomy of direct vs indirect methods with
+// the second indirect family next to Winograd.
+#pragma once
+
+#include "convbound/machine/sim_gpu.hpp"
+#include "convbound/tensor/conv_shape.hpp"
+#include "convbound/tensor/tensor.hpp"
+
+namespace convbound {
+
+struct FftConvConfig {
+  /// FFT tile edge (power of two). Valid outputs per tile edge are
+  /// tile - k + 1 (overlap-save).
+  std::int64_t tile = 32;
+};
+
+/// Three-phase FFT convolution: (1) kernel FFTs cached in global memory,
+/// (2) input tile FFTs cached in global memory, (3) per (tile, C_out)
+/// frequency-domain accumulation over C_in + inverse FFT + store.
+/// Requires stride == 1; throws otherwise.
+LaunchStats fft_conv_sim(SimGpu& gpu, const Tensor4<float>& input,
+                         const Tensor4<float>& weights, const ConvShape& s,
+                         Tensor4<float>& out, const FftConvConfig& cfg = {});
+
+/// Analytic I/O estimate of the three-phase schedule (elements), for the
+/// crossover analysis against direct/Winograd dataflow predictions.
+double fft_conv_io_estimate(const ConvShape& s, std::int64_t tile);
+
+}  // namespace convbound

@@ -1,0 +1,98 @@
+#include "convbound/fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+std::int64_t next_pow2(std::int64_t n) {
+  CB_CHECK(n > 0);
+  std::int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  CB_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2 * std::numbers::pi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft_inplace(std::span<Complex> data) {
+  fft_inplace(data, /*inverse=*/true);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv;
+}
+
+void fft2_inplace(std::span<Complex> data, std::int64_t rows,
+                  std::int64_t cols, bool inverse) {
+  CB_CHECK(static_cast<std::int64_t>(data.size()) == rows * cols);
+  // Rows.
+  for (std::int64_t r = 0; r < rows; ++r)
+    fft_inplace(data.subspan(static_cast<std::size_t>(r * cols),
+                             static_cast<std::size_t>(cols)),
+                inverse);
+  // Columns (via gather/scatter through a scratch line).
+  std::vector<Complex> col(static_cast<std::size_t>(rows));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t r = 0; r < rows; ++r)
+      col[static_cast<std::size_t>(r)] =
+          data[static_cast<std::size_t>(r * cols + c)];
+    fft_inplace(col, inverse);
+    for (std::int64_t r = 0; r < rows; ++r)
+      data[static_cast<std::size_t>(r * cols + c)] =
+          col[static_cast<std::size_t>(r)];
+  }
+}
+
+std::vector<double> fft_linear_convolve(std::span<const double> a,
+                                        std::span<const double> b) {
+  CB_CHECK(!a.empty() && !b.empty());
+  const std::int64_t out_len =
+      static_cast<std::int64_t>(a.size() + b.size()) - 1;
+  const std::int64_t n = next_pow2(out_len);
+  std::vector<Complex> fa(static_cast<std::size_t>(n)),
+      fb(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::int64_t i = 0; i < n; ++i)
+    fa[static_cast<std::size_t>(i)] *= fb[static_cast<std::size_t>(i)];
+  ifft_inplace(fa);
+  std::vector<double> out(static_cast<std::size_t>(out_len));
+  for (std::int64_t i = 0; i < out_len; ++i)
+    out[static_cast<std::size_t>(i)] = fa[static_cast<std::size_t>(i)].real();
+  return out;
+}
+
+double fft_lower_bound(std::int64_t n, double S) {
+  CB_CHECK(n > 1 && S > 1);
+  return static_cast<double>(n) * std::log2(static_cast<double>(n)) /
+         std::log2(S);
+}
+
+}  // namespace convbound

@@ -1,0 +1,217 @@
+#include "convbound/fft/fft_conv.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "convbound/fft/fft.hpp"
+#include "convbound/util/math.hpp"
+
+namespace convbound {
+
+namespace {
+
+/// Per-block 2-D FFT over a T x T complex buffer held in shared memory,
+/// reporting butterfly FLOPs (10 per butterfly: complex mul + two adds).
+void fft2_block(BlockContext& ctx, std::span<Complex> buf, std::int64_t t,
+                bool inverse) {
+  fft2_inplace(buf, t, t, inverse);
+  const double ops_per_line =
+      10.0 * static_cast<double>(t) / 2.0 * std::log2(static_cast<double>(t));
+  ctx.add_flops(static_cast<std::uint64_t>(2.0 * static_cast<double>(t) *
+                                           ops_per_line));
+}
+
+/// Loads input(b, c, h0:h0+t, w0:w0+t) into a complex tile (zero-padded,
+/// padding free of I/O charge), via a float staging row.
+void load_tile_complex(BlockContext& ctx, const Tensor4<float>& in,
+                       std::int64_t b, std::int64_t c, std::int64_t h0,
+                       std::int64_t w0, std::int64_t t, Complex* dst,
+                       float* stage) {
+  const auto& st = in.strides();
+  for (std::int64_t r = 0; r < t; ++r) {
+    Complex* drow = dst + r * t;
+    const std::int64_t ih = h0 + r;
+    if (ih < 0 || ih >= in.h()) {
+      std::fill(drow, drow + t, Complex{});
+      continue;
+    }
+    const std::int64_t lo = std::max<std::int64_t>(0, -w0);
+    const std::int64_t hi = std::min<std::int64_t>(t, in.w() - w0);
+    std::fill(drow, drow + t, Complex{});
+    if (lo >= hi) continue;
+    const float* src = in.data() + in.index(b, c, ih, w0 + lo);
+    if (st.w == 1) {
+      ctx.load(src, stage, static_cast<std::size_t>(hi - lo));
+    } else {
+      ctx.load_gather(src, st.w, stage, static_cast<std::size_t>(hi - lo));
+    }
+    for (std::int64_t i = 0; i < hi - lo; ++i)
+      drow[lo + i] = Complex(static_cast<double>(stage[i]), 0.0);
+  }
+}
+
+}  // namespace
+
+LaunchStats fft_conv_sim(SimGpu& gpu, const Tensor4<float>& input,
+                         const Tensor4<float>& weights, const ConvShape& s,
+                         Tensor4<float>& out, const FftConvConfig& cfg) {
+  s.validate();
+  CB_CHECK_MSG(s.groups == 1, "grouped convolution: use the tiled direct kernel");
+  CB_CHECK_MSG(s.stride == 1, "FFT convolution requires stride 1");
+  const std::int64_t t = next_pow2(std::max({cfg.tile, s.kh + 1, s.kw + 1}));
+  CB_CHECK_MSG(t <= 128, "FFT tile above the supported maximum of 128");
+  const std::int64_t t2 = t * t;
+  const std::int64_t tout = t - std::max(s.kh, s.kw) + 1;
+  const std::int64_t hout = s.hout(), wout = s.wout();
+  const std::int64_t th = ceil_div(hout, tout), tw = ceil_div(wout, tout);
+  const std::int64_t ntiles = th * tw;
+
+  // Frequency-domain caches in global memory (complex<float> storage: what
+  // a real implementation would keep, and what we charge I/O for).
+  std::vector<std::complex<float>> fker(
+      static_cast<std::size_t>(s.cout * s.cin * t2));
+  std::vector<std::complex<float>> fin(
+      static_cast<std::size_t>(s.cin * ntiles * t2));
+
+  LaunchStats total;
+
+  // ---- Phase 1: kernel FFTs (conjugated for correlation). ----
+  {
+    LaunchConfig lc;
+    lc.num_blocks = s.cout;
+    lc.threads_per_block = 128;
+    lc.smem_bytes_per_block =
+        t2 * static_cast<std::int64_t>(sizeof(Complex)) + 1024;
+    total += gpu.launch(lc, [&](BlockContext& ctx) {
+      const std::int64_t oc = ctx.block_id();
+      auto buf = ctx.smem().alloc<Complex>(static_cast<std::size_t>(t2));
+      auto stage = ctx.smem().alloc<float>(static_cast<std::size_t>(s.kw));
+      for (std::int64_t c = 0; c < s.cin; ++c) {
+        std::fill(buf.begin(), buf.end(), Complex{});
+        for (std::int64_t fh = 0; fh < s.kh; ++fh) {
+          ctx.load(weights.data() + weights.index(oc, c, fh, 0), stage.data(),
+                   static_cast<std::size_t>(s.kw));
+          for (std::int64_t fw = 0; fw < s.kw; ++fw)
+            buf[static_cast<std::size_t>(fh * t + fw)] =
+                Complex(static_cast<double>(stage[static_cast<std::size_t>(
+                            fw)]),
+                        0.0);
+        }
+        fft2_block(ctx, buf, t, /*inverse=*/false);
+        std::complex<float>* dst =
+            fker.data() + (oc * s.cin + c) * t2;
+        for (std::int64_t i = 0; i < t2; ++i) {
+          const Complex v = std::conj(buf[static_cast<std::size_t>(i)]);
+          dst[i] = std::complex<float>(static_cast<float>(v.real()),
+                                       static_cast<float>(v.imag()));
+        }
+        ctx.add_flops(static_cast<std::uint64_t>(t2));
+        ctx.charge_store(static_cast<std::size_t>(2 * t2) * sizeof(float));
+      }
+    });
+  }
+
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    // ---- Phase 2: input tile FFTs. ----
+    {
+      LaunchConfig lc;
+      lc.num_blocks = s.cin * ntiles;
+      lc.threads_per_block = 128;
+      lc.smem_bytes_per_block =
+          t2 * static_cast<std::int64_t>(sizeof(Complex)) +
+          t * static_cast<std::int64_t>(sizeof(float)) + 1024;
+      total += gpu.launch(lc, [&](BlockContext& ctx) {
+        const std::int64_t tile = ctx.block_id() % ntiles;
+        const std::int64_t c = ctx.block_id() / ntiles;
+        const std::int64_t ti = tile / tw, tj = tile % tw;
+        auto buf = ctx.smem().alloc<Complex>(static_cast<std::size_t>(t2));
+        auto stage = ctx.smem().alloc<float>(static_cast<std::size_t>(t));
+        load_tile_complex(ctx, input, b, c, ti * tout - s.pad,
+                          tj * tout - s.pad, t, buf.data(), stage.data());
+        fft2_block(ctx, buf, t, /*inverse=*/false);
+        std::complex<float>* dst = fin.data() + (c * ntiles + tile) * t2;
+        for (std::int64_t i = 0; i < t2; ++i)
+          dst[i] = std::complex<float>(
+              static_cast<float>(buf[static_cast<std::size_t>(i)].real()),
+              static_cast<float>(buf[static_cast<std::size_t>(i)].imag()));
+        ctx.charge_store(static_cast<std::size_t>(2 * t2) * sizeof(float));
+      });
+    }
+
+    // ---- Phase 3: frequency-domain reduction over C_in + inverse FFT. ----
+    {
+      LaunchConfig lc;
+      lc.num_blocks = s.cout * ntiles;
+      lc.threads_per_block = 128;
+      lc.smem_bytes_per_block =
+          t2 * static_cast<std::int64_t>(sizeof(Complex) +
+                                         2 * sizeof(std::complex<float>)) +
+          1024;
+      total += gpu.launch(lc, [&](BlockContext& ctx) {
+        const std::int64_t tile = ctx.block_id() % ntiles;
+        const std::int64_t oc = ctx.block_id() / ntiles;
+        const std::int64_t ti = tile / tw, tj = tile % tw;
+        auto acc = ctx.smem().alloc<Complex>(static_cast<std::size_t>(t2));
+        auto line = ctx.smem().alloc<std::complex<float>>(
+            static_cast<std::size_t>(t2));
+        auto kline = ctx.smem().alloc<std::complex<float>>(
+            static_cast<std::size_t>(t2));
+        std::fill(acc.begin(), acc.end(), Complex{});
+        for (std::int64_t c = 0; c < s.cin; ++c) {
+          ctx.load(reinterpret_cast<const float*>(
+                       fin.data() + (c * ntiles + tile) * t2),
+                   reinterpret_cast<float*>(line.data()),
+                   static_cast<std::size_t>(2 * t2));
+          ctx.load(reinterpret_cast<const float*>(
+                       fker.data() + (oc * s.cin + c) * t2),
+                   reinterpret_cast<float*>(kline.data()),
+                   static_cast<std::size_t>(2 * t2));
+          for (std::int64_t i = 0; i < t2; ++i) {
+            acc[static_cast<std::size_t>(i)] +=
+                Complex(line[static_cast<std::size_t>(i)]) *
+                Complex(kline[static_cast<std::size_t>(i)]);
+          }
+          ctx.add_flops(static_cast<std::uint64_t>(8 * t2));
+        }
+        fft2_block(ctx, acc, t, /*inverse=*/true);
+        const double inv = 1.0 / static_cast<double>(t2);
+        // Store the valid tout x tout corner, clipped to the output.
+        const std::int64_t oh0 = ti * tout, ow0 = tj * tout;
+        const std::int64_t re = std::min(tout, hout - oh0);
+        const std::int64_t ce = std::min(tout, wout - ow0);
+        for (std::int64_t r = 0; r < re; ++r) {
+          float row[128];  // tout <= t <= 128
+          for (std::int64_t cc = 0; cc < ce; ++cc)
+            row[cc] = static_cast<float>(
+                acc[static_cast<std::size_t>(r * t + cc)].real() * inv);
+          ctx.store(out.data() + out.index(b, oc, oh0 + r, ow0), row,
+                    static_cast<std::size_t>(ce));
+        }
+      });
+    }
+  }
+  return total;
+}
+
+double fft_conv_io_estimate(const ConvShape& s, std::int64_t tile) {
+  s.validate();
+  const std::int64_t t = next_pow2(std::max(tile, s.kh + 1));
+  const std::int64_t tout = t - std::max(s.kh, s.kw) + 1;
+  const double ntiles =
+      static_cast<double>(ceil_div(s.hout(), tout)) *
+      static_cast<double>(ceil_div(s.wout(), tout));
+  const double t2 = static_cast<double>(t * t);
+  const double kernel_phase =
+      static_cast<double>(s.cout * s.cin) * (s.kh * s.kw + 2.0 * t2);
+  const double input_phase =
+      static_cast<double>(s.cin) * ntiles * (t2 + 2.0 * t2);
+  const double reduce_phase =
+      static_cast<double>(s.cout) * ntiles *
+      (static_cast<double>(s.cin) * 4.0 * t2 +
+       static_cast<double>(tout * tout));
+  return static_cast<double>(s.batch) *
+         (input_phase + reduce_phase) + kernel_phase;
+}
+
+}  // namespace convbound

@@ -1,0 +1,64 @@
+// Gradient-boosted regression trees, built from scratch.
+//
+// Stands in for the XGBoost cost model of the paper's auto-tuning engine
+// (Section 6.1): squared-error boosting with depth-limited greedy trees and
+// L2 leaf regularisation. Training sets are small (hundreds to a few
+// thousand configurations), so exact sorted-scan split search is used
+// instead of histograms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace convbound {
+
+struct GbtParams {
+  int num_trees = 64;
+  int max_depth = 5;
+  double learning_rate = 0.15;
+  double lambda = 1.0;        ///< L2 regularisation on leaf values
+  int min_samples_leaf = 2;   ///< no split producing a smaller child
+};
+
+/// A boosted ensemble fit on (feature vector -> scalar target) pairs.
+class Gbt {
+ public:
+  /// Trains from scratch (drops any previous model). All rows must share
+  /// the same feature arity. Throws on empty or ragged input.
+  void fit(const std::vector<std::vector<double>>& X,
+           const std::vector<double>& y, const GbtParams& params = {});
+
+  bool trained() const { return !trees_.empty() || base_set_; }
+
+  double predict(const std::vector<double>& x) const;
+
+  /// Root-mean-square error over a labelled set.
+  double rmse(const std::vector<std::vector<double>>& X,
+              const std::vector<double>& y) const;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0;
+    double value = 0;
+    int left = -1, right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double eval(const std::vector<double>& x) const;
+  };
+
+  Tree fit_tree(const std::vector<std::vector<double>>& X,
+                const std::vector<double>& residual,
+                const std::vector<std::vector<std::int32_t>>& sorted_idx,
+                const GbtParams& params) const;
+
+  std::vector<Tree> trees_;
+  double base_ = 0;
+  double learning_rate_ = 0.1;
+  bool base_set_ = false;
+  std::size_t arity_ = 0;
+};
+
+}  // namespace convbound

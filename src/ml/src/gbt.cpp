@@ -1,0 +1,203 @@
+#include "convbound/ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+namespace {
+
+struct Split {
+  int feature = -1;
+  double threshold = 0;
+  double gain = 0;
+};
+
+/// Best squared-error split of `rows` on one feature, given globally sorted
+/// indices for that feature. O(n) scan of prefix sums.
+Split best_split_on_feature(const std::vector<std::vector<double>>& X,
+                            const std::vector<double>& residual,
+                            const std::vector<std::int32_t>& order,
+                            const std::vector<std::uint8_t>& in_node,
+                            int feature, int min_leaf) {
+  // Collect node rows in sorted-feature order.
+  double total = 0;
+  std::int64_t count = 0;
+  for (std::int32_t i : order) {
+    if (!in_node[static_cast<std::size_t>(i)]) continue;
+    total += residual[static_cast<std::size_t>(i)];
+    ++count;
+  }
+  Split best;
+  if (count < 2 * min_leaf) return best;
+
+  const double parent_score = total * total / static_cast<double>(count);
+  double left_sum = 0;
+  std::int64_t left_cnt = 0;
+  double prev_val = std::numeric_limits<double>::quiet_NaN();
+  for (std::int32_t i : order) {
+    if (!in_node[static_cast<std::size_t>(i)]) continue;
+    const double v = X[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(feature)];
+    // A split is only valid *between* distinct feature values.
+    if (left_cnt >= min_leaf && count - left_cnt >= min_leaf &&
+        v != prev_val) {
+      const double right_sum = total - left_sum;
+      const double gain =
+          left_sum * left_sum / static_cast<double>(left_cnt) +
+          right_sum * right_sum / static_cast<double>(count - left_cnt) -
+          parent_score;
+      if (gain > best.gain) {
+        best.feature = feature;
+        best.threshold = (v + prev_val) / 2.0;
+        best.gain = gain;
+      }
+    }
+    left_sum += residual[static_cast<std::size_t>(i)];
+    ++left_cnt;
+    prev_val = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+double Gbt::Tree::eval(const std::vector<double>& x) const {
+  int n = 0;
+  while (nodes[static_cast<std::size_t>(n)].feature >= 0) {
+    const Node& nd = nodes[static_cast<std::size_t>(n)];
+    n = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                : nd.right;
+  }
+  return nodes[static_cast<std::size_t>(n)].value;
+}
+
+Gbt::Tree Gbt::fit_tree(
+    const std::vector<std::vector<double>>& X,
+    const std::vector<double>& residual,
+    const std::vector<std::vector<std::int32_t>>& sorted_idx,
+    const GbtParams& params) const {
+  Tree tree;
+  const std::size_t n = X.size();
+  const int d = static_cast<int>(X[0].size());
+
+  struct Work {
+    int node;
+    int depth;
+    std::vector<std::uint8_t> in_node;  // membership mask
+  };
+  std::vector<Work> stack;
+  tree.nodes.emplace_back();
+  stack.push_back({0, 0, std::vector<std::uint8_t>(n, 1)});
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+
+    double sum = 0;
+    std::int64_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w.in_node[i]) {
+        sum += residual[i];
+        ++cnt;
+      }
+    }
+    Node& node = tree.nodes[static_cast<std::size_t>(w.node)];
+    node.value = sum / (static_cast<double>(cnt) + params.lambda);
+
+    if (w.depth >= params.max_depth || cnt < 2 * params.min_samples_leaf)
+      continue;
+
+    Split best;
+    for (int f = 0; f < d; ++f) {
+      const Split s = best_split_on_feature(
+          X, residual, sorted_idx[static_cast<std::size_t>(f)], w.in_node, f,
+          params.min_samples_leaf);
+      if (s.gain > best.gain) best = s;
+    }
+    if (best.feature < 0 || best.gain <= 1e-12) continue;
+
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    const int li = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    tree.nodes.emplace_back();
+    tree.nodes[static_cast<std::size_t>(w.node)].left = li;
+    tree.nodes[static_cast<std::size_t>(w.node)].right = li + 1;
+
+    std::vector<std::uint8_t> left_mask(n, 0), right_mask(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!w.in_node[i]) continue;
+      const double v =
+          X[i][static_cast<std::size_t>(best.feature)];
+      (v <= best.threshold ? left_mask : right_mask)[i] = 1;
+    }
+    stack.push_back({li, w.depth + 1, std::move(left_mask)});
+    stack.push_back({li + 1, w.depth + 1, std::move(right_mask)});
+  }
+  return tree;
+}
+
+void Gbt::fit(const std::vector<std::vector<double>>& X,
+              const std::vector<double>& y, const GbtParams& params) {
+  CB_CHECK_MSG(!X.empty() && X.size() == y.size(),
+               "gbt: need non-empty, aligned X/y");
+  arity_ = X[0].size();
+  for (const auto& row : X)
+    CB_CHECK_MSG(row.size() == arity_, "gbt: ragged feature matrix");
+
+  trees_.clear();
+  learning_rate_ = params.learning_rate;
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) /
+          static_cast<double>(y.size());
+  base_set_ = true;
+
+  // Pre-sort row indices per feature once.
+  std::vector<std::vector<std::int32_t>> sorted_idx(arity_);
+  for (std::size_t f = 0; f < arity_; ++f) {
+    auto& idx = sorted_idx[f];
+    idx.resize(X.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::int32_t a, std::int32_t b) {
+      return X[static_cast<std::size_t>(a)][f] <
+             X[static_cast<std::size_t>(b)][f];
+    });
+  }
+
+  std::vector<double> pred(y.size(), base_);
+  std::vector<double> residual(y.size());
+  for (int t = 0; t < params.num_trees; ++t) {
+    for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+    Tree tree = fit_tree(X, residual, sorted_idx, params);
+    if (tree.nodes.size() == 1 && std::abs(tree.nodes[0].value) < 1e-15)
+      break;  // nothing left to learn
+    for (std::size_t i = 0; i < y.size(); ++i)
+      pred[i] += learning_rate_ * tree.eval(X[i]);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Gbt::predict(const std::vector<double>& x) const {
+  CB_CHECK_MSG(base_set_, "gbt: predict before fit");
+  CB_CHECK_MSG(x.size() == arity_, "gbt: feature arity mismatch");
+  double p = base_;
+  for (const auto& t : trees_) p += learning_rate_ * t.eval(x);
+  return p;
+}
+
+double Gbt::rmse(const std::vector<std::vector<double>>& X,
+                 const std::vector<double>& y) const {
+  CB_CHECK(X.size() == y.size() && !X.empty());
+  double se = 0;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    const double d = predict(X[i]) - y[i];
+    se += d * d;
+  }
+  return std::sqrt(se / static_cast<double>(X.size()));
+}
+
+}  // namespace convbound

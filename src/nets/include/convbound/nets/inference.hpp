@@ -1,0 +1,39 @@
+// End-to-end (conv-only) model inference on the simulated machine,
+// comparing the paper's tuned dataflows against the cuDNN-like baseline.
+#pragma once
+
+#include "convbound/machine/sim_gpu.hpp"
+#include "convbound/nets/models.hpp"
+
+namespace convbound {
+
+enum class ModelStrategy {
+  kBaseline,      ///< cuDNN-like: best of {direct-naive, im2col, phased wino}
+  kOursDefault,   ///< our dataflows with the analytic default configuration
+  kOursTuned,     ///< our dataflows with a per-layer ATE tuning pass
+};
+
+struct LayerTiming {
+  std::string name;
+  ConvShape shape;
+  double seconds = 0;
+  std::string algorithm;
+  std::uint64_t io_bytes = 0;
+};
+
+struct ModelReport {
+  std::string model;
+  ModelStrategy strategy{};
+  double total_seconds = 0;
+  std::vector<LayerTiming> layers;
+};
+
+/// Runs every conv layer once with the chosen strategy. For kOursTuned,
+/// `tune_budget` measurement trials are spent per layer (tuning time is not
+/// part of the reported inference time, as in the paper).
+ModelReport run_model(SimGpu& gpu, const std::string& model_name,
+                      const std::vector<ConvLayer>& layers,
+                      ModelStrategy strategy, int tune_budget = 32,
+                      std::uint64_t seed = 42);
+
+}  // namespace convbound

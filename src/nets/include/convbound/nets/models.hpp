@@ -1,0 +1,38 @@
+// Convolution-layer inventories of the CNN models used in the paper's
+// end-to-end evaluation (Figure 12) and auto-tuning table (Table 2).
+//
+// Only convolution layers are listed (they dominate inference time and are
+// the only layers either system accelerates); pooling/activation layers
+// merely determine the spatial sizes encoded here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "convbound/tensor/conv_shape.hpp"
+
+namespace convbound {
+
+struct ConvLayer {
+  std::string name;
+  ConvShape shape;
+};
+
+std::vector<ConvLayer> alexnet(std::int64_t batch = 1);
+std::vector<ConvLayer> squeezenet_v10(std::int64_t batch = 1);
+std::vector<ConvLayer> vgg19(std::int64_t batch = 1);
+std::vector<ConvLayer> resnet18(std::int64_t batch = 1);
+std::vector<ConvLayer> resnet34(std::int64_t batch = 1);
+std::vector<ConvLayer> inception_v3(std::int64_t batch = 1);
+/// Depthwise-separable network (grouped convolutions; the MobileNet-class
+/// workloads the paper's introduction motivates).
+std::vector<ConvLayer> mobilenet_v1(std::int64_t batch = 1);
+
+/// All models keyed by the names used in Figure 12.
+std::vector<std::pair<std::string, std::vector<ConvLayer>>> model_zoo(
+    std::int64_t batch = 1);
+
+/// Total conv FLOPs of a model.
+std::int64_t model_flops(const std::vector<ConvLayer>& layers);
+
+}  // namespace convbound

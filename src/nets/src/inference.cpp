@@ -1,0 +1,109 @@
+#include "convbound/nets/inference.hpp"
+
+#include <algorithm>
+
+#include "convbound/conv/algorithms.hpp"
+#include "convbound/conv/reference.hpp"
+#include "convbound/tune/engine.hpp"
+
+namespace convbound {
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  LaunchStats stats;
+};
+
+Candidate best_of(std::vector<Candidate> cands) {
+  CB_CHECK(!cands.empty());
+  return *std::min_element(cands.begin(), cands.end(),
+                           [](const Candidate& a, const Candidate& b) {
+                             return a.stats.sim_time < b.stats.sim_time;
+                           });
+}
+
+}  // namespace
+
+ModelReport run_model(SimGpu& gpu, const std::string& model_name,
+                      const std::vector<ConvLayer>& layers,
+                      ModelStrategy strategy, int tune_budget,
+                      std::uint64_t seed) {
+  ModelReport report;
+  report.model = model_name;
+  report.strategy = strategy;
+
+  for (const auto& layer : layers) {
+    const ConvShape& s = layer.shape;
+    ConvProblem p = make_problem(s, seed ^ std::hash<std::string>{}(layer.name));
+    Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+    const bool wino_ok =
+        algorithm_supports(ConvAlgorithm::kWinogradFused, s) && s.kh == 3;
+    CB_CHECK(s.groups == 1 || !wino_ok);
+
+    std::vector<Candidate> cands;
+    switch (strategy) {
+      case ModelStrategy::kBaseline: {
+        cands.push_back(
+            {"direct-naive", direct_naive_sim(gpu, p.input, p.weights, s, out)});
+        if (s.groups == 1) {
+          cands.push_back(
+              {"im2col", im2col_sim(gpu, p.input, p.weights, s, out)});
+        }
+        if (wino_ok) {
+          cands.push_back({"winograd-phased",
+                           winograd_phased_sim(gpu, p.input, p.weights, s, 2,
+                                               out)});
+        }
+        break;
+      }
+      case ModelStrategy::kOursDefault: {
+        const ConvConfig dc = default_tiled_config(s, gpu.spec());
+        cands.push_back({"direct-tiled",
+                         direct_tiled_sim(gpu, p.input, p.weights, s, dc, out)});
+        if (wino_ok) {
+          const ConvConfig wc = default_winograd_config(s, 2, gpu.spec());
+          cands.push_back({"winograd-fused",
+                           winograd_fused_sim(gpu, p.input, p.weights, s, 2,
+                                              wc, out)});
+        }
+        break;
+      }
+      case ModelStrategy::kOursTuned: {
+        AutotuneOptions opts;
+        opts.budget = tune_budget;
+        opts.seed = seed;
+        AutotuneOutcome direct = autotune_conv(gpu, s, opts);
+        ConvConfig dc = direct.result.best_seconds < 1e30
+                            ? direct.result.best
+                            : default_tiled_config(s, gpu.spec());
+        cands.push_back({"direct-tiled(tuned)",
+                         direct_tiled_sim(gpu, p.input, p.weights, s, dc, out)});
+        if (wino_ok) {
+          opts.winograd = true;
+          AutotuneOutcome wino = autotune_conv(gpu, s, opts);
+          ConvConfig wc = wino.result.best_seconds < 1e30
+                              ? wino.result.best
+                              : default_winograd_config(s, 2, gpu.spec());
+          cands.push_back({"winograd-fused(tuned)",
+                           winograd_fused_sim(gpu, p.input, p.weights, s, 2,
+                                              wc, out)});
+        }
+        break;
+      }
+    }
+
+    const Candidate best = best_of(std::move(cands));
+    LayerTiming t;
+    t.name = layer.name;
+    t.shape = s;
+    t.seconds = best.stats.sim_time;
+    t.algorithm = best.name;
+    t.io_bytes = best.stats.bytes_total();
+    report.total_seconds += t.seconds;
+    report.layers.push_back(std::move(t));
+  }
+  return report;
+}
+
+}  // namespace convbound

@@ -1,0 +1,221 @@
+#include "convbound/nets/models.hpp"
+
+#include <numeric>
+
+namespace convbound {
+
+namespace {
+
+ConvShape conv(std::int64_t batch, std::int64_t cin, std::int64_t hw,
+               std::int64_t cout, std::int64_t k, std::int64_t stride,
+               std::int64_t pad) {
+  ConvShape s;
+  s.batch = batch;
+  s.cin = cin;
+  s.hin = s.win = hw;
+  s.cout = cout;
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.validate();
+  return s;
+}
+
+}  // namespace
+
+std::vector<ConvLayer> alexnet(std::int64_t b) {
+  return {
+      {"conv1", conv(b, 3, 227, 96, 11, 4, 0)},
+      {"conv2", conv(b, 96, 27, 256, 5, 1, 2)},
+      {"conv3", conv(b, 256, 13, 384, 3, 1, 1)},
+      {"conv4", conv(b, 384, 13, 256, 3, 1, 1)},
+      {"conv5", conv(b, 256, 13, 256, 3, 1, 1)},
+  };
+}
+
+std::vector<ConvLayer> squeezenet_v10(std::int64_t b) {
+  std::vector<ConvLayer> layers;
+  layers.push_back({"conv1", conv(b, 3, 224, 96, 7, 2, 0)});
+  // Fire modules: squeeze 1x1, expand 1x1 and expand 3x3 (pad 1).
+  auto fire = [&](const std::string& name, std::int64_t cin, std::int64_t hw,
+                  std::int64_t sq, std::int64_t ex) {
+    layers.push_back({name + "/squeeze1x1", conv(b, cin, hw, sq, 1, 1, 0)});
+    layers.push_back({name + "/expand1x1", conv(b, sq, hw, ex, 1, 1, 0)});
+    layers.push_back({name + "/expand3x3", conv(b, sq, hw, ex, 3, 1, 1)});
+  };
+  fire("fire2", 96, 55, 16, 64);
+  fire("fire3", 128, 55, 16, 64);
+  fire("fire4", 128, 55, 32, 128);
+  fire("fire5", 256, 27, 32, 128);
+  fire("fire6", 256, 27, 48, 192);
+  fire("fire7", 384, 27, 48, 192);
+  fire("fire8", 384, 27, 64, 256);
+  fire("fire9", 512, 13, 64, 256);
+  layers.push_back({"conv10", conv(b, 512, 13, 1000, 1, 1, 0)});
+  return layers;
+}
+
+std::vector<ConvLayer> vgg19(std::int64_t b) {
+  std::vector<ConvLayer> layers;
+  auto stage = [&](int idx, std::int64_t cin, std::int64_t cout,
+                   std::int64_t hw, int convs) {
+    for (int i = 0; i < convs; ++i) {
+      layers.push_back({"conv" + std::to_string(idx) + "_" +
+                            std::to_string(i + 1),
+                        conv(b, i == 0 ? cin : cout, hw, cout, 3, 1, 1)});
+    }
+  };
+  stage(1, 3, 64, 224, 2);
+  stage(2, 64, 128, 112, 2);
+  stage(3, 128, 256, 56, 4);
+  stage(4, 256, 512, 28, 4);
+  stage(5, 512, 512, 14, 4);
+  return layers;
+}
+
+namespace {
+
+/// Residual stages shared by ResNet-18/34 (basic blocks, two 3x3 convs).
+std::vector<ConvLayer> resnet_basic(std::int64_t b,
+                                    const std::vector<int>& blocks) {
+  std::vector<ConvLayer> layers;
+  layers.push_back({"conv1", conv(b, 3, 224, 64, 7, 2, 3)});
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  const std::int64_t sizes[4] = {56, 28, 14, 7};
+  std::int64_t cin = 64;
+  for (int st = 0; st < 4; ++st) {
+    const std::int64_t w = widths[st], hw = sizes[st];
+    for (int blk = 0; blk < blocks[static_cast<std::size_t>(st)]; ++blk) {
+      const bool down = (st > 0 && blk == 0);
+      const std::string base =
+          "layer" + std::to_string(st + 1) + "." + std::to_string(blk);
+      // First conv of a downsampling block runs at the previous resolution
+      // with stride 2.
+      layers.push_back({base + ".conv1",
+                        conv(b, cin, down ? hw * 2 : hw, w, 3, down ? 2 : 1,
+                             1)});
+      layers.push_back({base + ".conv2", conv(b, w, hw, w, 3, 1, 1)});
+      if (down) {
+        layers.push_back(
+            {base + ".downsample", conv(b, cin, hw * 2, w, 1, 2, 0)});
+      }
+      cin = w;
+    }
+  }
+  return layers;
+}
+
+}  // namespace
+
+std::vector<ConvLayer> resnet18(std::int64_t b) {
+  return resnet_basic(b, {2, 2, 2, 2});
+}
+
+std::vector<ConvLayer> resnet34(std::int64_t b) {
+  return resnet_basic(b, {3, 4, 6, 3});
+}
+
+std::vector<ConvLayer> inception_v3(std::int64_t b) {
+  std::vector<ConvLayer> layers;
+  // Stem.
+  layers.push_back({"stem/conv1", conv(b, 3, 299, 32, 3, 2, 0)});
+  layers.push_back({"stem/conv2", conv(b, 32, 149, 32, 3, 1, 0)});
+  layers.push_back({"stem/conv3", conv(b, 32, 147, 64, 3, 1, 1)});
+  layers.push_back({"stem/conv4", conv(b, 64, 73, 80, 1, 1, 0)});
+  layers.push_back({"stem/conv5", conv(b, 80, 73, 192, 3, 1, 0)});
+  // Three Inception-A modules at 35x35 (1x1 / 5x5 / double-3x3 / pool-proj).
+  auto inception_a = [&](const std::string& name, std::int64_t cin,
+                         std::int64_t pool_proj) {
+    layers.push_back({name + "/1x1", conv(b, cin, 35, 64, 1, 1, 0)});
+    layers.push_back({name + "/5x5_reduce", conv(b, cin, 35, 48, 1, 1, 0)});
+    layers.push_back({name + "/5x5", conv(b, 48, 35, 64, 5, 1, 2)});
+    layers.push_back({name + "/3x3_reduce", conv(b, cin, 35, 64, 1, 1, 0)});
+    layers.push_back({name + "/3x3a", conv(b, 64, 35, 96, 3, 1, 1)});
+    layers.push_back({name + "/3x3b", conv(b, 96, 35, 96, 3, 1, 1)});
+    layers.push_back({name + "/pool_proj", conv(b, cin, 35, pool_proj, 1, 1, 0)});
+  };
+  inception_a("mixed0", 192, 32);
+  inception_a("mixed1", 256, 64);
+  inception_a("mixed2", 288, 64);
+  // Reduction-A to 17x17.
+  layers.push_back({"mixed3/3x3", conv(b, 288, 35, 384, 3, 2, 0)});
+  layers.push_back({"mixed3/d3x3_reduce", conv(b, 288, 35, 64, 1, 1, 0)});
+  layers.push_back({"mixed3/d3x3a", conv(b, 64, 35, 96, 3, 1, 1)});
+  layers.push_back({"mixed3/d3x3b", conv(b, 96, 35, 96, 3, 2, 0)});
+  // Inception-B modules at 17x17 (7x7 factorised as 7x7 equivalent cost:
+  // modelled as 1x7+7x1 pairs via two 7-wide convs; we encode them as the
+  // dominant 1x1-reduced 3x3-equivalent pair with kh=kw=7 collapsed —
+  // keeping the arithmetic honest matters more than branch topology here).
+  auto inception_b = [&](const std::string& name, std::int64_t mid) {
+    layers.push_back({name + "/1x1", conv(b, 768, 17, 192, 1, 1, 0)});
+    layers.push_back({name + "/7x7_reduce", conv(b, 768, 17, mid, 1, 1, 0)});
+    layers.push_back({name + "/7x7", conv(b, mid, 17, 192, 7, 1, 3)});
+    layers.push_back({name + "/pool_proj", conv(b, 768, 17, 192, 1, 1, 0)});
+  };
+  inception_b("mixed4", 128);
+  inception_b("mixed5", 160);
+  inception_b("mixed6", 160);
+  inception_b("mixed7", 192);
+  // Reduction-B to 8x8.
+  layers.push_back({"mixed8/3x3_reduce", conv(b, 768, 17, 192, 1, 1, 0)});
+  layers.push_back({"mixed8/3x3", conv(b, 192, 17, 320, 3, 2, 0)});
+  // Inception-C modules at 8x8.
+  auto inception_c = [&](const std::string& name, std::int64_t cin) {
+    layers.push_back({name + "/1x1", conv(b, cin, 8, 320, 1, 1, 0)});
+    layers.push_back({name + "/3x3_reduce", conv(b, cin, 8, 384, 1, 1, 0)});
+    layers.push_back({name + "/3x3", conv(b, 384, 8, 384, 3, 1, 1)});
+    layers.push_back({name + "/pool_proj", conv(b, cin, 8, 192, 1, 1, 0)});
+  };
+  inception_c("mixed9", 1280);
+  inception_c("mixed10", 2048);
+  return layers;
+}
+
+std::vector<ConvLayer> mobilenet_v1(std::int64_t b) {
+  std::vector<ConvLayer> layers;
+  ConvShape first = conv(b, 3, 224, 32, 3, 2, 1);
+  layers.push_back({"conv1", first});
+  struct Block {
+    std::int64_t cin, cout, hw;  // hw = input size of the depthwise conv
+    std::int64_t stride;
+  };
+  const std::vector<Block> blocks = {
+      {32, 64, 112, 1},   {64, 128, 112, 2},  {128, 128, 56, 1},
+      {128, 256, 56, 2},  {256, 256, 28, 1},  {256, 512, 28, 2},
+      {512, 512, 14, 1},  {512, 512, 14, 1},  {512, 512, 14, 1},
+      {512, 512, 14, 1},  {512, 512, 14, 1},  {512, 1024, 14, 2},
+      {1024, 1024, 7, 1},
+  };
+  int idx = 2;
+  for (const Block& blk : blocks) {
+    ConvShape dw = conv(b, blk.cin, blk.hw, blk.cin, 3, blk.stride, 1);
+    dw.groups = blk.cin;  // depthwise
+    dw.validate();
+    layers.push_back({"conv" + std::to_string(idx) + "_dw", dw});
+    const std::int64_t hw_out = dw.hout();
+    layers.push_back({"conv" + std::to_string(idx) + "_pw",
+                      conv(b, blk.cin, hw_out, blk.cout, 1, 1, 0)});
+    ++idx;
+  }
+  return layers;
+}
+
+std::vector<std::pair<std::string, std::vector<ConvLayer>>> model_zoo(
+    std::int64_t batch) {
+  return {
+      {"SqueezeNet", squeezenet_v10(batch)},
+      {"Vgg-19", vgg19(batch)},
+      {"ResNet-18", resnet18(batch)},
+      {"ResNet-34", resnet34(batch)},
+      {"Inception-v3", inception_v3(batch)},
+  };
+}
+
+std::int64_t model_flops(const std::vector<ConvLayer>& layers) {
+  return std::accumulate(layers.begin(), layers.end(), std::int64_t{0},
+                         [](std::int64_t acc, const ConvLayer& l) {
+                           return acc + l.shape.flops();
+                         });
+}
+
+}  // namespace convbound

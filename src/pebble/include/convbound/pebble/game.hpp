@@ -1,0 +1,38 @@
+// Red-blue pebble game execution engine.
+//
+// Plays Hong & Kung's game on a DAG for a given fast-memory capacity S:
+// vertices are computed in topological (insertion) order; predecessors not
+// resident in fast memory are loaded (they always have a blue copy by
+// invariant), and evictions of still-live values force stores. The result is
+// the I/O count Q of one concrete schedule — an *upper* bound that the
+// paper's analytic lower bounds must stay below, and that well-chosen tiled
+// orders drive to within a constant factor of those bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "convbound/pebble/dag.hpp"
+
+namespace convbound {
+
+enum class EvictionPolicy {
+  kLru,     ///< least-recently-used victim
+  kBelady,  ///< farthest-next-use victim (offline optimal for caches)
+};
+
+struct GameResult {
+  std::uint64_t loads = 0;   ///< blue -> red transitions
+  std::uint64_t stores = 0;  ///< red -> blue transitions
+  std::uint64_t total() const { return loads + stores; }
+};
+
+/// Plays the game. `fast_memory` is S in values (red pebbles). Requires
+/// S >= max_in_degree + 1 so every vertex is computable.
+GameResult play_pebble_game(const Dag& dag, std::size_t fast_memory,
+                            EvictionPolicy policy = EvictionPolicy::kBelady);
+
+/// Trivial lower bound from cold misses alone: every input must be loaded
+/// once, every output stored once. Handy sanity floor in tests.
+std::uint64_t cold_traffic(const Dag& dag);
+
+}  // namespace convbound

@@ -1,0 +1,71 @@
+#include "convbound/pebble/dag.hpp"
+
+#include <algorithm>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+VertexId DagBuilder::add_input() {
+  pred_offsets_.push_back(pred_offsets_.back());
+  is_output_.push_back(0);
+  return static_cast<VertexId>(pred_offsets_.size() - 2);
+}
+
+VertexId DagBuilder::add_vertex(std::span<const VertexId> preds) {
+  CB_CHECK_MSG(!preds.empty(), "compute vertex needs predecessors");
+  const auto id = static_cast<VertexId>(pred_offsets_.size() - 1);
+  for (VertexId p : preds) {
+    CB_CHECK_MSG(p < id, "predecessor " << p << " not yet added");
+    preds_.push_back(p);
+  }
+  pred_offsets_.push_back(static_cast<std::uint32_t>(preds_.size()));
+  is_output_.push_back(0);
+  return id;
+}
+
+void DagBuilder::mark_output(VertexId v) {
+  CB_CHECK(v < is_output_.size());
+  is_output_[v] = 1;
+}
+
+Dag DagBuilder::build() {
+  Dag dag;
+  dag.pred_offsets = std::move(pred_offsets_);
+  dag.preds = std::move(preds_);
+  dag.is_output = std::move(is_output_);
+
+  const std::size_t n = dag.num_vertices();
+  dag.num_inputs = 0;
+  dag.num_outputs = 0;
+  dag.max_in_degree = 0;
+  std::vector<std::uint32_t> out_degree(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto deg = dag.pred_offsets[v + 1] - dag.pred_offsets[v];
+    dag.max_in_degree = std::max<std::size_t>(dag.max_in_degree, deg);
+    if (deg == 0) ++dag.num_inputs;
+    if (dag.is_output[v]) ++dag.num_outputs;
+    for (std::uint32_t e = dag.pred_offsets[v]; e < dag.pred_offsets[v + 1];
+         ++e)
+      ++out_degree[dag.preds[e]];
+  }
+  dag.succ_offsets.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    dag.succ_offsets[v + 1] = dag.succ_offsets[v] + out_degree[v];
+  dag.succs.resize(dag.preds.size());
+  std::vector<std::uint32_t> cursor(dag.succ_offsets.begin(),
+                                    dag.succ_offsets.end() - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::uint32_t e = dag.pred_offsets[v]; e < dag.pred_offsets[v + 1];
+         ++e) {
+      dag.succs[cursor[dag.preds[e]]++] = static_cast<VertexId>(v);
+    }
+  }
+  // Reset builder state so reuse is well-defined.
+  pred_offsets_ = {0};
+  preds_.clear();
+  is_output_.clear();
+  return dag;
+}
+
+}  // namespace convbound

@@ -1,0 +1,165 @@
+#include "convbound/pebble/game.hpp"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+namespace {
+
+constexpr std::uint32_t kNever = std::numeric_limits<std::uint32_t>::max();
+
+/// Shared state of one game run.
+struct GameState {
+  const Dag& dag;
+  std::size_t S;
+  EvictionPolicy policy;
+
+  std::vector<std::uint8_t> in_fast;
+  std::vector<std::uint8_t> has_blue;
+  /// Cursor into each vertex's (ascending) successor list: next unconsumed
+  /// use. Consumers of v are executed at time == successor id.
+  std::vector<std::uint32_t> use_cursor;
+  std::vector<std::uint64_t> last_touch;  // LRU stamps
+  std::uint64_t clock = 0;
+  std::size_t resident = 0;
+
+  // Lazy max-heap of (priority, vertex). Priority: next-use distance for
+  // Belady (dead values = kNever sort first via max-heap on distance),
+  // inverted recency for LRU.
+  struct HeapEntry {
+    std::uint64_t key;
+    VertexId v;
+    bool operator<(const HeapEntry& o) const { return key < o.key; }
+  };
+  std::priority_queue<HeapEntry> heap;
+
+  GameResult result;
+
+  explicit GameState(const Dag& d, std::size_t s, EvictionPolicy p)
+      : dag(d), S(s), policy(p),
+        in_fast(d.num_vertices(), 0),
+        has_blue(d.num_vertices(), 0),
+        use_cursor(d.pred_offsets.size() - 1, 0),
+        last_touch(d.num_vertices(), 0) {}
+
+  std::uint32_t next_use(VertexId v, std::uint32_t now) {
+    auto succ = dag.successors(v);
+    auto& cur = use_cursor[v];
+    while (cur < succ.size() && succ[cur] <= now) ++cur;
+    return cur < succ.size() ? succ[cur] : kNever;
+  }
+
+  std::uint64_t priority(VertexId v, std::uint32_t now) {
+    if (policy == EvictionPolicy::kBelady) {
+      const std::uint32_t nu = next_use(v, now);
+      return nu == kNever ? std::numeric_limits<std::uint64_t>::max() : nu;
+    }
+    // LRU: evict the oldest touch first -> larger key = older.
+    return std::numeric_limits<std::uint64_t>::max() - last_touch[v];
+  }
+
+  void touch(VertexId v, std::uint32_t now) {
+    last_touch[v] = ++clock;
+    heap.push({priority(v, now), v});
+  }
+
+  /// Evicts until at least one slot is free. `pinned_from` marks values that
+  /// must stay (current vertex's predecessors mid-computation).
+  void make_room(std::uint32_t now, const std::vector<std::uint8_t>& pinned) {
+    std::vector<HeapEntry> stash;
+    while (resident >= S) {
+      CB_CHECK_MSG(!heap.empty(), "pebble game: everything pinned, S too small");
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (!in_fast[top.v] || top.key != priority(top.v, now)) continue;  // stale
+      if (pinned[top.v]) {
+        stash.push_back(top);
+        continue;
+      }
+      // Evict top.v. A value with pending uses, or an output never written
+      // back, must be stored before the red pebble is removed.
+      const bool live = next_use(top.v, now) != kNever;
+      const bool output_pending = dag.is_output[top.v] && !has_blue[top.v];
+      if ((live || output_pending) && !has_blue[top.v]) {
+        ++result.stores;
+        has_blue[top.v] = 1;
+      }
+      in_fast[top.v] = 0;
+      --resident;
+    }
+    for (const auto& e : stash) heap.push(e);
+  }
+
+  void place(VertexId v, std::uint32_t now,
+             const std::vector<std::uint8_t>& pinned) {
+    if (in_fast[v]) {
+      touch(v, now);
+      return;
+    }
+    make_room(now, pinned);
+    in_fast[v] = 1;
+    ++resident;
+    touch(v, now);
+  }
+};
+
+}  // namespace
+
+GameResult play_pebble_game(const Dag& dag, std::size_t fast_memory,
+                            EvictionPolicy policy) {
+  CB_CHECK_MSG(fast_memory >= dag.max_in_degree + 1,
+               "S=" << fast_memory << " cannot hold a vertex and its "
+                    << dag.max_in_degree << " predecessors");
+  GameState st(dag, fast_memory, policy);
+  const auto n = static_cast<std::uint32_t>(dag.num_vertices());
+  std::vector<std::uint8_t> pinned(dag.num_vertices(), 0);
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (dag.is_input(v)) {
+      // Inputs are materialised lazily when first consumed.
+      st.has_blue[v] = 1;
+      continue;
+    }
+    const auto preds = dag.predecessors(v);
+    for (VertexId p : preds) pinned[p] = 1;
+    // Bring all predecessors into fast memory.
+    for (VertexId p : preds) {
+      if (!st.in_fast[p]) {
+        CB_CHECK_MSG(st.has_blue[p], "value lost: vertex " << p);
+        ++st.result.loads;
+        st.place(p, v, pinned);
+      } else {
+        st.touch(p, v);
+      }
+    }
+    // Compute v into a fresh red pebble.
+    st.place(v, v, pinned);
+    for (VertexId p : preds) pinned[p] = 0;
+  }
+
+  // Outputs must end on blue pebbles.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (dag.is_output[v] && !st.has_blue[v]) {
+      ++st.result.stores;
+      st.has_blue[v] = 1;
+    }
+  }
+  return st.result;
+}
+
+std::uint64_t cold_traffic(const Dag& dag) {
+  // Count inputs actually consumed by someone, plus all outputs.
+  std::uint64_t used_inputs = 0;
+  for (std::size_t v = 0; v < dag.num_vertices(); ++v) {
+    if (dag.is_input(static_cast<VertexId>(v)) &&
+        !dag.successors(static_cast<VertexId>(v)).empty())
+      ++used_inputs;
+  }
+  return used_inputs + dag.num_outputs;
+}
+
+}  // namespace convbound

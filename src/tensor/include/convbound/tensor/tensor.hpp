@@ -1,0 +1,118 @@
+// Dense 4-D tensor with selectable layout.
+//
+// In the simulator this buffer *is* the slow (global/off-chip) memory of the
+// red-blue pebble game; kernels may only touch it through counted transfers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "convbound/tensor/layout.hpp"
+#include "convbound/util/check.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+
+template <typename T>
+class Tensor4 {
+ public:
+  Tensor4() : Tensor4(1, 1, 1, 1) {}
+
+  Tensor4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+          Layout layout = Layout::kNCHW)
+      : n_(n), c_(c), h_(h), w_(w), layout_(layout),
+        strides_(make_strides(layout, n, c, h, w)),
+        data_(static_cast<std::size_t>(n * c * h * w)) {}
+
+  std::int64_t n() const { return n_; }
+  std::int64_t c() const { return c_; }
+  std::int64_t h() const { return h_; }
+  std::int64_t w() const { return w_; }
+  Layout layout() const { return layout_; }
+  const Strides4& strides() const { return strides_; }
+  std::int64_t size() const { return n_ * c_ * h_ * w_; }
+  std::size_t size_bytes() const {
+    return static_cast<std::size_t>(size()) * sizeof(T);
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  std::int64_t index(std::int64_t in, std::int64_t ic, std::int64_t ih,
+                     std::int64_t iw) const {
+    return in * strides_.n + ic * strides_.c + ih * strides_.h +
+           iw * strides_.w;
+  }
+
+  T& operator()(std::int64_t in, std::int64_t ic, std::int64_t ih,
+                std::int64_t iw) {
+    return data_[static_cast<std::size_t>(index(in, ic, ih, iw))];
+  }
+  const T& operator()(std::int64_t in, std::int64_t ic, std::int64_t ih,
+                      std::int64_t iw) const {
+    return data_[static_cast<std::size_t>(index(in, ic, ih, iw))];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Fills with deterministic uniform values in [-1, 1).
+  void fill_random(Rng& rng) {
+    for (auto& v : data_) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+
+  /// Copies values into a tensor of another layout (same logical shape).
+  Tensor4<T> to_layout(Layout layout) const {
+    Tensor4<T> out(n_, c_, h_, w_, layout);
+    for (std::int64_t in = 0; in < n_; ++in)
+      for (std::int64_t ic = 0; ic < c_; ++ic)
+        for (std::int64_t ih = 0; ih < h_; ++ih)
+          for (std::int64_t iw = 0; iw < w_; ++iw)
+            out(in, ic, ih, iw) = (*this)(in, ic, ih, iw);
+    return out;
+  }
+
+ private:
+  std::int64_t n_, c_, h_, w_;
+  Layout layout_;
+  Strides4 strides_;
+  std::vector<T> data_;
+};
+
+/// Largest absolute element-wise difference between two same-shape tensors.
+template <typename T>
+double max_abs_diff(const Tensor4<T>& a, const Tensor4<T>& b) {
+  CB_CHECK(a.n() == b.n() && a.c() == b.c() && a.h() == b.h() &&
+           a.w() == b.w());
+  double m = 0;
+  for (std::int64_t in = 0; in < a.n(); ++in)
+    for (std::int64_t ic = 0; ic < a.c(); ++ic)
+      for (std::int64_t ih = 0; ih < a.h(); ++ih)
+        for (std::int64_t iw = 0; iw < a.w(); ++iw) {
+          const double d = std::abs(static_cast<double>(a(in, ic, ih, iw)) -
+                                    static_cast<double>(b(in, ic, ih, iw)));
+          if (d > m) m = d;
+        }
+  return m;
+}
+
+/// True when all elements agree within |a-b| <= atol + rtol*|b|.
+template <typename T>
+bool allclose(const Tensor4<T>& a, const Tensor4<T>& b, double rtol = 1e-4,
+              double atol = 1e-5) {
+  CB_CHECK(a.n() == b.n() && a.c() == b.c() && a.h() == b.h() &&
+           a.w() == b.w());
+  for (std::int64_t in = 0; in < a.n(); ++in)
+    for (std::int64_t ic = 0; ic < a.c(); ++ic)
+      for (std::int64_t ih = 0; ih < a.h(); ++ih)
+        for (std::int64_t iw = 0; iw < a.w(); ++iw) {
+          const double av = static_cast<double>(a(in, ic, ih, iw));
+          const double bv = static_cast<double>(b(in, ic, ih, iw));
+          if (std::abs(av - bv) > atol + rtol * std::abs(bv)) return false;
+        }
+  return true;
+}
+
+}  // namespace convbound

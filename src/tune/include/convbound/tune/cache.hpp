@@ -1,0 +1,52 @@
+// Persistent store of tuned configurations, keyed by (machine, algorithm,
+// problem shape) — the moral equivalent of TVM's tophub log so a model can
+// be deployed without re-tuning every layer.
+//
+// File format: one record per line,
+//   key|x y z nxt nyt nzt layout smem|gflops
+// chosen over JSON to keep the library dependency-free and the files
+// mergeable with line-based tools.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "convbound/conv/conv_config.hpp"
+#include "convbound/machine/machine_spec.hpp"
+
+namespace convbound {
+
+class TuneCache {
+ public:
+  struct Entry {
+    ConvConfig config;
+    double gflops = 0;
+  };
+
+  /// Canonical lookup key for a tuning task.
+  static std::string make_key(const MachineSpec& spec, const ConvShape& shape,
+                              bool winograd, std::int64_t e);
+
+  /// Inserts or overwrites; keeps the better-GFlops entry on collision
+  /// unless `force`.
+  void put(const std::string& key, const Entry& entry, bool force = false);
+
+  std::optional<Entry> get(const std::string& key) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Round-trippable text form.
+  std::string serialize() const;
+  static TuneCache deserialize(const std::string& text);
+
+  /// File persistence. load() merges (better entries win).
+  void save(const std::string& path) const;
+  static TuneCache load(const std::string& path);
+  void merge(const TuneCache& other);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace convbound

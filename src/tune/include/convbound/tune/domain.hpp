@@ -1,0 +1,72 @@
+// The configuration search domain (paper Table 1).
+//
+// The TVM-like baseline domain contains every feasible tiling (divisor tile
+// sizes, thread factors, layouts, shared-memory budgets that physically
+// fit). The paper's auto-tuning engine additionally prunes with the I/O
+// optimality condition x*y = R*z, which implies z <= sqrt(S_b/R) and
+// x*y <= sqrt(S_b*R) (Section 6.2) — that pruning is exactly what Table 2's
+// "Size of Search Space" columns compare.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "convbound/conv/conv_config.hpp"
+#include "convbound/machine/machine_spec.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+
+struct DomainOptions {
+  /// Apply the optimality-condition pruning (ours). false = TVM-like space.
+  bool prune_with_optimality = true;
+  /// Tune the Winograd dataflow instead of the direct one.
+  bool winograd = false;
+  std::int64_t e = 2;  ///< Winograd output tile edge
+};
+
+class SearchDomain {
+ public:
+  static SearchDomain build(const ConvShape& shape, const MachineSpec& spec,
+                            const DomainOptions& opts = {});
+
+  const ConvShape& shape() const { return shape_; }
+  const MachineSpec& spec() const { return spec_; }
+  const DomainOptions& options() const { return opts_; }
+
+  /// Exact number of valid configurations (counted by enumeration over the
+  /// factor lattice; cheap because thread-split counts are memoised).
+  std::uint64_t size() const { return size_; }
+
+  /// True when cfg satisfies every domain constraint.
+  bool contains(const ConvConfig& cfg) const;
+
+  /// Uniform-ish sample (rejection over the factor lattice).
+  ConvConfig sample(Rng& rng) const;
+
+  /// All lattice moves of one step (adjacent divisor in one dimension,
+  /// neighbouring thread split, next layout, next smem budget) that stay
+  /// inside the domain.
+  std::vector<ConvConfig> neighbors(const ConvConfig& cfg) const;
+
+  const std::vector<std::int64_t>& xs() const { return xs_; }
+  const std::vector<std::int64_t>& ys() const { return ys_; }
+  const std::vector<std::int64_t>& zs() const { return zs_; }
+  const std::vector<std::int64_t>& smem_choices() const { return smems_; }
+
+ private:
+  bool tile_ok(std::int64_t x, std::int64_t y, std::int64_t z,
+               std::int64_t smem) const;
+  std::int64_t footprint_bytes(std::int64_t x, std::int64_t y,
+                               std::int64_t z) const;
+
+  ConvShape shape_;
+  MachineSpec spec_;
+  DomainOptions opts_;
+  std::vector<std::int64_t> xs_, ys_, zs_;  // candidate tile sizes
+  std::vector<std::int64_t> smems_;         // candidate S_b (bytes)
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace convbound

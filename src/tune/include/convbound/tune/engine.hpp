@@ -1,0 +1,28 @@
+// One-call auto-tuning entry point (the paper's Section 6.3 loop).
+#pragma once
+
+#include "convbound/tune/tuners.hpp"
+
+namespace convbound {
+
+struct AutotuneOptions {
+  int budget = 96;            ///< measurement trials
+  std::uint64_t seed = 1;
+  bool winograd = false;
+  std::int64_t e = 2;
+  bool prune_with_optimality = true;
+  AteTuner::Params ate;
+};
+
+struct AutotuneOutcome {
+  TuneResult result;
+  SearchDomain domain;
+  double best_gflops = 0;
+};
+
+/// Builds the (pruned) domain for `shape` on `gpu`'s machine, runs the ATE
+/// tuner and returns the best configuration + trace.
+AutotuneOutcome autotune_conv(SimGpu& gpu, const ConvShape& shape,
+                              const AutotuneOptions& opts = {});
+
+}  // namespace convbound

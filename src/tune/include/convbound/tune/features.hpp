@@ -1,0 +1,21 @@
+// Feature extraction from configurations for the GBT cost model.
+#pragma once
+
+#include <vector>
+
+#include "convbound/conv/conv_config.hpp"
+#include "convbound/machine/machine_spec.hpp"
+#include "convbound/tune/domain.hpp"
+
+namespace convbound {
+
+/// Maps a configuration to the cost model's feature vector: log tile dims,
+/// thread split, layout one-hot, shared-memory pressure, occupancy,
+/// optimality residual and the analytic dataflow read estimate.
+std::vector<double> config_features(const SearchDomain& domain,
+                                    const ConvConfig& cfg);
+
+/// Number of features produced by config_features.
+std::size_t config_feature_arity();
+
+}  // namespace convbound

@@ -1,0 +1,49 @@
+// Measurement oracle shared by every tuner: runs the tunable kernel on the
+// simulated machine and reports its modelled runtime.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "convbound/conv/algorithms.hpp"
+#include "convbound/machine/sim_gpu.hpp"
+#include "convbound/tune/domain.hpp"
+
+namespace convbound {
+
+struct Measurement {
+  double seconds = std::numeric_limits<double>::infinity();
+  LaunchStats stats;
+  bool valid = false;
+};
+
+/// Owns the problem tensors and the output buffer; measure() executes the
+/// configured kernel for real (counted I/O + roofline time). Invalid
+/// configurations — e.g. a tile that overflows its declared S_b — come back
+/// with valid == false and infinite time, exactly like a failed on-device
+/// trial in TVM.
+class ConvMeasurer {
+ public:
+  ConvMeasurer(SimGpu& gpu, const SearchDomain& domain,
+               std::uint64_t seed = 42);
+
+  Measurement measure(const ConvConfig& cfg);
+
+  /// GFLOP/s equivalent of a runtime for this problem.
+  double gflops(double seconds) const;
+
+  /// Total kernel executions performed so far.
+  std::uint64_t trials() const { return trials_; }
+
+  const SearchDomain& domain() const { return domain_; }
+
+ private:
+  SimGpu& gpu_;
+  SearchDomain domain_;
+  Tensor4<float> weights_;
+  std::vector<Tensor4<float>> inputs_;  // one per layout
+  Tensor4<float> out_;
+  std::uint64_t trials_ = 0;
+};
+
+}  // namespace convbound

@@ -1,0 +1,115 @@
+// Search strategies over the configuration domain.
+//
+// RandomTuner / SimulatedAnnealingTuner / GeneticTuner reproduce the TVM
+// searcher family the paper compares against (Figure 11); AteTuner is the
+// paper's auto-tuning engine: a GBT cost model trained online plus n_s
+// parallel random walks over the optimality-condition-pruned domain
+// (Section 6.2-6.3). All tuners share one measurement oracle; "iterations"
+// counts hardware (simulator) trials, the paper's cost unit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convbound/ml/gbt.hpp"
+#include "convbound/tune/measure.hpp"
+
+namespace convbound {
+
+struct TuneRecord {
+  int trial = 0;                 ///< measurement index (1-based)
+  ConvConfig config;
+  double seconds = 0;            ///< this trial's runtime (inf when invalid)
+  double best_seconds = 0;       ///< best runtime seen up to this trial
+};
+
+struct TuneResult {
+  ConvConfig best;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  std::vector<TuneRecord> history;
+
+  double best_gflops(const ConvMeasurer& m) const {
+    return m.gflops(best_seconds);
+  }
+  /// First trial index that reached within `slack` of the final best.
+  int trials_to_converge(double slack = 0.01) const;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+  /// Runs `budget` measurements and returns the search trace.
+  virtual TuneResult run(ConvMeasurer& measurer, int budget) = 0;
+};
+
+/// Uniform random sampling of the domain (TVM "random" baseline).
+class RandomTuner : public Tuner {
+ public:
+  explicit RandomTuner(std::uint64_t seed = 1) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  TuneResult run(ConvMeasurer& measurer, int budget) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Metropolis walk over lattice neighbours with geometric cooling
+/// (TVM "simulated annealing" baseline).
+class SimulatedAnnealingTuner : public Tuner {
+ public:
+  explicit SimulatedAnnealingTuner(std::uint64_t seed = 1, double t0 = 1.0,
+                                   double cooling = 0.98)
+      : rng_(seed), t0_(t0), cooling_(cooling) {}
+  std::string name() const override { return "simulated-annealing"; }
+  TuneResult run(ConvMeasurer& measurer, int budget) override;
+
+ private:
+  Rng rng_;
+  double t0_, cooling_;
+};
+
+/// Tournament-selection genetic algorithm (TVM "GA" baseline).
+class GeneticTuner : public Tuner {
+ public:
+  explicit GeneticTuner(std::uint64_t seed = 1, int population = 16,
+                        double mutation_rate = 0.3)
+      : rng_(seed), population_(population), mutation_rate_(mutation_rate) {}
+  std::string name() const override { return "genetic"; }
+  TuneResult run(ConvMeasurer& measurer, int budget) override;
+
+ private:
+  Rng rng_;
+  int population_;
+  double mutation_rate_;
+};
+
+/// The paper's auto-tuning engine: (1) train the GBT cost model on all
+/// measurements so far, (2) run n_s parallel random walks that only accept
+/// moves with lower *predicted* cost (epsilon-greedy), (3) measure the n_s
+/// most promising unmeasured endpoints, (4) repeat.
+class AteTuner : public Tuner {
+ public:
+  struct Params {
+    int ns = 8;              ///< parallel walks per round
+    int walk_steps = 24;     ///< lattice steps per walk
+    int warmup = 16;         ///< random measurements before the model kicks in
+    double epsilon = 0.1;    ///< exploration probability per step
+    GbtParams gbt;
+    /// Template-manager knowledge: configurations measured first (e.g. the
+    /// analytic default derived from the optimality condition).
+    std::vector<ConvConfig> seeds;
+  };
+  explicit AteTuner(std::uint64_t seed = 1) : rng_(seed) {}
+  AteTuner(std::uint64_t seed, const Params& params)
+      : rng_(seed), params_(params) {}
+  std::string name() const override { return "ate(ours)"; }
+  TuneResult run(ConvMeasurer& measurer, int budget) override;
+
+ private:
+  Rng rng_;
+  Params params_;
+};
+
+}  // namespace convbound

@@ -1,0 +1,94 @@
+#include "convbound/tune/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+std::string TuneCache::make_key(const MachineSpec& spec,
+                                const ConvShape& shape, bool winograd,
+                                std::int64_t e) {
+  std::ostringstream os;
+  os << spec.name << ";" << (winograd ? "winograd" + std::to_string(e)
+                                      : std::string("direct"))
+     << ";" << shape.to_string();
+  return os.str();
+}
+
+void TuneCache::put(const std::string& key, const Entry& entry, bool force) {
+  CB_CHECK_MSG(key.find('|') == std::string::npos &&
+                   key.find('\n') == std::string::npos,
+               "cache key must not contain '|' or newlines");
+  auto it = entries_.find(key);
+  if (it == entries_.end() || force || entry.gflops > it->second.gflops) {
+    entries_[key] = entry;
+  }
+}
+
+std::optional<TuneCache::Entry> TuneCache::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TuneCache::serialize() const {
+  std::ostringstream os;
+  for (const auto& [key, e] : entries_) {
+    os << key << '|' << e.config.x << ' ' << e.config.y << ' ' << e.config.z
+       << ' ' << e.config.nxt << ' ' << e.config.nyt << ' ' << e.config.nzt
+       << ' ' << static_cast<int>(e.config.layout) << ' '
+       << e.config.smem_budget << '|' << e.gflops << '\n';
+  }
+  return os.str();
+}
+
+TuneCache TuneCache::deserialize(const std::string& text) {
+  TuneCache cache;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = line.rfind('|');
+    CB_CHECK_MSG(p1 != std::string::npos && p2 != p1,
+                 "malformed cache line " << lineno);
+    const std::string key = line.substr(0, p1);
+    std::istringstream cfg_is(line.substr(p1 + 1, p2 - p1 - 1));
+    Entry e;
+    int layout = 0;
+    cfg_is >> e.config.x >> e.config.y >> e.config.z >> e.config.nxt >>
+        e.config.nyt >> e.config.nzt >> layout >> e.config.smem_budget;
+    CB_CHECK_MSG(!cfg_is.fail(), "malformed config on cache line " << lineno);
+    CB_CHECK_MSG(layout >= 0 && layout <= 2,
+                 "bad layout on cache line " << lineno);
+    e.config.layout = static_cast<Layout>(layout);
+    e.gflops = std::stod(line.substr(p2 + 1));
+    cache.put(key, e, /*force=*/true);
+  }
+  return cache;
+}
+
+void TuneCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  CB_CHECK_MSG(out.good(), "cannot open cache file '" << path << "'");
+  out << serialize();
+  CB_CHECK_MSG(out.good(), "failed writing cache file '" << path << "'");
+}
+
+TuneCache TuneCache::load(const std::string& path) {
+  std::ifstream in(path);
+  CB_CHECK_MSG(in.good(), "cannot read cache file '" << path << "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return deserialize(os.str());
+}
+
+void TuneCache::merge(const TuneCache& other) {
+  for (const auto& [key, e] : other.entries_) put(key, e);
+}
+
+}  // namespace convbound

@@ -1,0 +1,209 @@
+#include "convbound/tune/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "convbound/bounds/conv_bounds.hpp"
+#include "convbound/util/math.hpp"
+
+namespace convbound {
+
+namespace {
+
+constexpr int kMaxThreadsPerDim = 32;
+
+/// Divisors of n capped at n (ascending). For Winograd x/y, divisors of the
+/// tile-count grid scaled by e.
+std::vector<std::int64_t> tile_candidates(std::int64_t extent,
+                                          std::int64_t multiple) {
+  std::vector<std::int64_t> out;
+  if (multiple <= 1) {
+    out = divisors(extent);
+  } else {
+    for (std::int64_t d : divisors(ceil_div(extent, multiple)))
+      out.push_back(d * multiple);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> thread_candidates(std::int64_t tile) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t d : divisors(tile))
+    if (d <= kMaxThreadsPerDim) out.push_back(d);
+  return out;
+}
+
+}  // namespace
+
+std::int64_t SearchDomain::footprint_bytes(std::int64_t x, std::int64_t y,
+                                           std::int64_t z) const {
+  ConvConfig cfg;
+  cfg.x = x;
+  cfg.y = y;
+  cfg.z = z;
+  return opts_.winograd ? winograd_fused_smem_bytes(shape_, opts_.e, cfg)
+                        : direct_tiled_smem_bytes(shape_, cfg);
+}
+
+bool SearchDomain::tile_ok(std::int64_t x, std::int64_t y, std::int64_t z,
+                           std::int64_t smem) const {
+  if (footprint_bytes(x, y, z) > smem) return false;
+  if (!opts_.prune_with_optimality) return true;
+  // Optimality-condition pruning (Section 6.2): z <= sqrt(S_b/R) and
+  // x*y <= sqrt(S_b*R), with S_b in elements.
+  const double sb =
+      static_cast<double>(smem) / static_cast<double>(sizeof(float));
+  const double R = std::max(1.0, shape_.reuse());
+  if (static_cast<double>(z) > std::sqrt(sb / R) + 1e-9) return false;
+  if (static_cast<double>(x * y) > std::sqrt(sb * R) + 1e-9) return false;
+  return true;
+}
+
+SearchDomain SearchDomain::build(const ConvShape& shape,
+                                 const MachineSpec& spec,
+                                 const DomainOptions& opts) {
+  shape.validate();
+  SearchDomain d;
+  d.shape_ = shape;
+  d.spec_ = spec;
+  d.opts_ = opts;
+
+  const std::int64_t mult = opts.winograd ? opts.e : 1;
+  d.xs_ = tile_candidates(shape.hout(), mult);
+  d.ys_ = tile_candidates(shape.wout(), mult);
+  d.zs_ = divisors(shape.cout);
+  // S_b candidates: halvings of S_sm/2 (two resident blocks minimum).
+  for (std::int64_t sb = spec.shared_mem_per_sm / 2; sb >= 2048; sb /= 2)
+    d.smems_.push_back(sb);
+
+  // Exact size: sum over the lattice of valid thread-split counts.
+  std::uint64_t size = 0;
+  for (std::int64_t x : d.xs_) {
+    const auto tx = thread_candidates(x);
+    for (std::int64_t y : d.ys_) {
+      const auto ty = thread_candidates(y);
+      for (std::int64_t z : d.zs_) {
+        const auto tz = thread_candidates(z);
+        for (std::int64_t sb : d.smems_) {
+          if (!d.tile_ok(x, y, z, sb)) continue;
+          std::uint64_t splits = 0;
+          for (std::int64_t a : tx)
+            for (std::int64_t b : ty)
+              for (std::int64_t c : tz)
+                if (a * b * c <= spec.max_threads_per_block) ++splits;
+          size += splits * kAllLayouts.size();
+        }
+      }
+    }
+  }
+  d.size_ = size;
+  return d;
+}
+
+bool SearchDomain::contains(const ConvConfig& cfg) const {
+  if (std::find(xs_.begin(), xs_.end(), cfg.x) == xs_.end()) return false;
+  if (std::find(ys_.begin(), ys_.end(), cfg.y) == ys_.end()) return false;
+  if (std::find(zs_.begin(), zs_.end(), cfg.z) == zs_.end()) return false;
+  if (std::find(smems_.begin(), smems_.end(), cfg.smem_budget) ==
+      smems_.end())
+    return false;
+  if (cfg.x % cfg.nxt != 0 || cfg.y % cfg.nyt != 0 || cfg.z % cfg.nzt != 0)
+    return false;
+  if (cfg.nxt > kMaxThreadsPerDim || cfg.nyt > kMaxThreadsPerDim ||
+      cfg.nzt > kMaxThreadsPerDim)
+    return false;
+  if (cfg.threads() > spec_.max_threads_per_block) return false;
+  return tile_ok(cfg.x, cfg.y, cfg.z, cfg.smem_budget);
+}
+
+ConvConfig SearchDomain::sample(Rng& rng) const {
+  CB_CHECK_MSG(size_ > 0, "empty search domain for " << shape_.to_string());
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    ConvConfig cfg;
+    cfg.x = xs_[rng.below(xs_.size())];
+    cfg.y = ys_[rng.below(ys_.size())];
+    cfg.z = zs_[rng.below(zs_.size())];
+    cfg.smem_budget = smems_[rng.below(smems_.size())];
+    const auto tx = thread_candidates(cfg.x);
+    const auto ty = thread_candidates(cfg.y);
+    const auto tz = thread_candidates(cfg.z);
+    cfg.nxt = static_cast<int>(tx[rng.below(tx.size())]);
+    cfg.nyt = static_cast<int>(ty[rng.below(ty.size())]);
+    cfg.nzt = static_cast<int>(tz[rng.below(tz.size())]);
+    cfg.layout = kAllLayouts[rng.below(kAllLayouts.size())];
+    if (cfg.threads() <= spec_.max_threads_per_block &&
+        tile_ok(cfg.x, cfg.y, cfg.z, cfg.smem_budget))
+      return cfg;
+  }
+  CB_CHECK_MSG(false, "could not sample a valid configuration");
+  return {};
+}
+
+std::vector<ConvConfig> SearchDomain::neighbors(const ConvConfig& cfg) const {
+  std::vector<ConvConfig> out;
+  auto push_if_valid = [&](ConvConfig c) {
+    // Re-snap thread splits that no longer divide the tile.
+    auto snap = [](std::int64_t tile, int t) {
+      while (t > 1 && tile % t != 0) --t;
+      return t;
+    };
+    c.nxt = snap(c.x, c.nxt);
+    c.nyt = snap(c.y, c.nyt);
+    c.nzt = snap(c.z, c.nzt);
+    if (contains(c) && !(c == cfg)) out.push_back(c);
+  };
+
+  auto step_list = [&](const std::vector<std::int64_t>& list,
+                       std::int64_t cur, auto setter) {
+    const auto it = std::find(list.begin(), list.end(), cur);
+    if (it == list.end()) return;
+    if (it != list.begin()) {
+      ConvConfig c = cfg;
+      setter(c, *(it - 1));
+      push_if_valid(c);
+    }
+    if (it + 1 != list.end()) {
+      ConvConfig c = cfg;
+      setter(c, *(it + 1));
+      push_if_valid(c);
+    }
+  };
+
+  step_list(xs_, cfg.x, [](ConvConfig& c, std::int64_t v) { c.x = v; });
+  step_list(ys_, cfg.y, [](ConvConfig& c, std::int64_t v) { c.y = v; });
+  step_list(zs_, cfg.z, [](ConvConfig& c, std::int64_t v) { c.z = v; });
+  step_list(smems_, cfg.smem_budget,
+            [](ConvConfig& c, std::int64_t v) { c.smem_budget = v; });
+
+  // Thread-split moves.
+  auto thread_moves = [&](int ConvConfig::* field, std::int64_t tile) {
+    const auto cand = thread_candidates(tile);
+    const auto it = std::find(cand.begin(), cand.end(),
+                              static_cast<std::int64_t>(cfg.*field));
+    if (it == cand.end()) return;
+    if (it != cand.begin()) {
+      ConvConfig c = cfg;
+      c.*field = static_cast<int>(*(it - 1));
+      push_if_valid(c);
+    }
+    if (it + 1 != cand.end()) {
+      ConvConfig c = cfg;
+      c.*field = static_cast<int>(*(it + 1));
+      push_if_valid(c);
+    }
+  };
+  thread_moves(&ConvConfig::nxt, cfg.x);
+  thread_moves(&ConvConfig::nyt, cfg.y);
+  thread_moves(&ConvConfig::nzt, cfg.z);
+
+  // Layout moves.
+  for (Layout l : kAllLayouts) {
+    if (l == cfg.layout) continue;
+    ConvConfig c = cfg;
+    c.layout = l;
+    push_if_valid(c);
+  }
+  return out;
+}
+
+}  // namespace convbound

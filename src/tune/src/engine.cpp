@@ -1,0 +1,30 @@
+#include "convbound/tune/engine.hpp"
+
+namespace convbound {
+
+AutotuneOutcome autotune_conv(SimGpu& gpu, const ConvShape& shape,
+                              const AutotuneOptions& opts) {
+  DomainOptions dopts;
+  dopts.prune_with_optimality = opts.prune_with_optimality;
+  dopts.winograd = opts.winograd;
+  dopts.e = opts.e;
+  SearchDomain domain = SearchDomain::build(shape, gpu.spec(), dopts);
+
+  ConvMeasurer measurer(gpu, domain, opts.seed);
+  AteTuner::Params params = opts.ate;
+  // Seed the engine with the analytic dataflow default (Section 5's
+  // optimality-condition configuration) — the template manager's knowledge.
+  params.seeds.push_back(opts.winograd
+                             ? default_winograd_config(shape, opts.e,
+                                                       gpu.spec())
+                             : default_tiled_config(shape, gpu.spec()));
+  AteTuner tuner(opts.seed, params);
+  TuneResult result = tuner.run(measurer, opts.budget);
+
+  AutotuneOutcome out{std::move(result), std::move(domain), 0.0};
+  if (out.result.best_seconds < 1e30)
+    out.best_gflops = measurer.gflops(out.result.best_seconds);
+  return out;
+}
+
+}  // namespace convbound

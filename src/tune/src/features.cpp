@@ -1,0 +1,58 @@
+#include "convbound/tune/features.hpp"
+
+#include <cmath>
+
+#include "convbound/bounds/conv_bounds.hpp"
+#include "convbound/util/math.hpp"
+
+namespace convbound {
+
+std::size_t config_feature_arity() { return 16; }
+
+std::vector<double> config_features(const SearchDomain& domain,
+                                    const ConvConfig& cfg) {
+  const ConvShape& s = domain.shape();
+  const MachineSpec& spec = domain.spec();
+  const bool wino = domain.options().winograd;
+
+  const std::int64_t fp =
+      wino ? winograd_fused_smem_bytes(s, domain.options().e, cfg)
+           : direct_tiled_smem_bytes(s, cfg);
+  const std::int64_t sb =
+      cfg.smem_budget > 0 ? cfg.smem_budget : std::max<std::int64_t>(fp, 1);
+  const double blocks_per_sm = std::max<std::int64_t>(
+      1, std::min<std::int64_t>(spec.max_blocks_per_sm,
+                                spec.shared_mem_per_sm / sb));
+  const double num_blocks =
+      static_cast<double>(s.batch) *
+      static_cast<double>(ceil_div(s.hout(), cfg.x)) *
+      static_cast<double>(ceil_div(s.wout(), cfg.y)) *
+      static_cast<double>(ceil_div(s.cout, cfg.z));
+  const double reads =
+      wino ? winograd_dataflow_reads(s, domain.options().e, cfg.x, cfg.y,
+                                     cfg.z)
+           : direct_dataflow_reads(s, cfg.x, cfg.y, cfg.z);
+
+  std::vector<double> f;
+  f.reserve(config_feature_arity());
+  f.push_back(std::log2(static_cast<double>(cfg.x)));
+  f.push_back(std::log2(static_cast<double>(cfg.y)));
+  f.push_back(std::log2(static_cast<double>(cfg.z)));
+  f.push_back(std::log2(static_cast<double>(cfg.tile_elems())));
+  f.push_back(std::log2(static_cast<double>(cfg.nxt)));
+  f.push_back(std::log2(static_cast<double>(cfg.nyt)));
+  f.push_back(std::log2(static_cast<double>(cfg.nzt)));
+  f.push_back(std::log2(static_cast<double>(cfg.threads())));
+  f.push_back(cfg.layout == Layout::kNCHW ? 1.0 : 0.0);
+  f.push_back(cfg.layout == Layout::kNCWH ? 1.0 : 0.0);
+  f.push_back(cfg.layout == Layout::kNHWC ? 1.0 : 0.0);
+  f.push_back(static_cast<double>(fp) / static_cast<double>(sb));
+  f.push_back(blocks_per_sm);
+  f.push_back(std::log2(std::max(1.0, num_blocks /
+                                          static_cast<double>(spec.num_sms))));
+  f.push_back(optimality_residual(s, cfg.x, cfg.y, cfg.z));
+  f.push_back(std::log2(std::max(1.0, reads)));
+  return f;
+}
+
+}  // namespace convbound

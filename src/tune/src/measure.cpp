@@ -1,0 +1,50 @@
+#include "convbound/tune/measure.hpp"
+
+#include "convbound/conv/reference.hpp"
+
+namespace convbound {
+
+ConvMeasurer::ConvMeasurer(SimGpu& gpu, const SearchDomain& domain,
+                           std::uint64_t seed)
+    : gpu_(gpu), domain_(domain),
+      weights_(domain.shape().cout, domain.shape().cin_per_group(),
+               domain.shape().kh,
+               domain.shape().kw),
+      out_(domain.shape().batch, domain.shape().cout, domain.shape().hout(),
+           domain.shape().wout()) {
+  const ConvShape& s = domain_.shape();
+  Rng rng(seed);
+  Tensor4<float> base(s.batch, s.cin, s.hin, s.win);
+  base.fill_random(rng);
+  weights_.fill_random(rng);
+  inputs_.reserve(kAllLayouts.size());
+  for (Layout l : kAllLayouts) inputs_.push_back(base.to_layout(l));
+}
+
+Measurement ConvMeasurer::measure(const ConvConfig& cfg) {
+  Measurement m;
+  const ConvShape& s = domain_.shape();
+  const Tensor4<float>& input =
+      inputs_[static_cast<std::size_t>(cfg.layout)];
+  ++trials_;
+  try {
+    if (domain_.options().winograd) {
+      m.stats = winograd_fused_sim(gpu_, input, weights_, s,
+                                   domain_.options().e, cfg, out_);
+    } else {
+      m.stats = direct_tiled_sim(gpu_, input, weights_, s, cfg, out_);
+    }
+    m.seconds = m.stats.sim_time;
+    m.valid = true;
+  } catch (const Error&) {
+    // Configuration does not physically fit (S_b overflow, thread limit...).
+    m.valid = false;
+  }
+  return m;
+}
+
+double ConvMeasurer::gflops(double seconds) const {
+  return static_cast<double>(domain_.shape().flops()) / seconds / 1e9;
+}
+
+}  // namespace convbound

@@ -1,0 +1,219 @@
+#include "convbound/tune/tuners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "convbound/tune/features.hpp"
+
+namespace convbound {
+
+namespace {
+
+/// Appends one measurement to the trace, updating the incumbent.
+void record(TuneResult& res, const ConvConfig& cfg, const Measurement& m) {
+  TuneRecord rec;
+  rec.trial = static_cast<int>(res.history.size()) + 1;
+  rec.config = cfg;
+  rec.seconds = m.seconds;
+  if (m.valid && m.seconds < res.best_seconds) {
+    res.best_seconds = m.seconds;
+    res.best = cfg;
+  }
+  rec.best_seconds = res.best_seconds;
+  res.history.push_back(rec);
+}
+
+/// Key for "have we measured this config already".
+std::string config_key(const ConvConfig& c) {
+  return std::to_string(c.x) + "," + std::to_string(c.y) + "," +
+         std::to_string(c.z) + "," + std::to_string(c.nxt) + "," +
+         std::to_string(c.nyt) + "," + std::to_string(c.nzt) + "," +
+         std::to_string(static_cast<int>(c.layout)) + "," +
+         std::to_string(c.smem_budget);
+}
+
+}  // namespace
+
+int TuneResult::trials_to_converge(double slack) const {
+  const double target = best_seconds * (1.0 + slack);
+  for (const auto& rec : history) {
+    if (rec.best_seconds <= target) return rec.trial;
+  }
+  return history.empty() ? 0 : history.back().trial;
+}
+
+TuneResult RandomTuner::run(ConvMeasurer& measurer, int budget) {
+  TuneResult res;
+  for (int i = 0; i < budget; ++i) {
+    const ConvConfig cfg = measurer.domain().sample(rng_);
+    record(res, cfg, measurer.measure(cfg));
+  }
+  return res;
+}
+
+TuneResult SimulatedAnnealingTuner::run(ConvMeasurer& measurer, int budget) {
+  TuneResult res;
+  const SearchDomain& domain = measurer.domain();
+  ConvConfig cur = domain.sample(rng_);
+  Measurement cm = measurer.measure(cur);
+  record(res, cur, cm);
+  double temp = t0_;
+  // Energy scale: relative runtime differences.
+  for (int i = 1; i < budget; ++i) {
+    auto moves = domain.neighbors(cur);
+    ConvConfig cand =
+        moves.empty() ? domain.sample(rng_) : moves[rng_.below(moves.size())];
+    const Measurement nm = measurer.measure(cand);
+    record(res, cand, nm);
+    bool accept = false;
+    if (nm.valid && (!cm.valid || nm.seconds <= cm.seconds)) {
+      accept = true;
+    } else if (nm.valid && cm.valid) {
+      const double delta = (nm.seconds - cm.seconds) / cm.seconds;
+      accept = rng_.uniform() < std::exp(-delta / std::max(1e-6, temp));
+    }
+    if (accept) {
+      cur = cand;
+      cm = nm;
+    }
+    temp *= cooling_;
+  }
+  return res;
+}
+
+TuneResult GeneticTuner::run(ConvMeasurer& measurer, int budget) {
+  TuneResult res;
+  const SearchDomain& domain = measurer.domain();
+  struct Individual {
+    ConvConfig cfg;
+    double fitness;  // -runtime (higher is better); invalid = -inf
+  };
+  std::vector<Individual> pop;
+
+  auto eval = [&](const ConvConfig& cfg) {
+    const Measurement m = measurer.measure(cfg);
+    record(res, cfg, m);
+    return Individual{cfg, m.valid ? -m.seconds
+                                   : -std::numeric_limits<double>::infinity()};
+  };
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a = pop[rng_.below(pop.size())];
+    const Individual& b = pop[rng_.below(pop.size())];
+    return a.fitness >= b.fitness ? a : b;
+  };
+  auto crossover = [&](const ConvConfig& a, const ConvConfig& b) {
+    ConvConfig c = a;
+    if (rng_.uniform() < 0.5) { c.x = b.x; c.nxt = b.nxt; }
+    if (rng_.uniform() < 0.5) { c.y = b.y; c.nyt = b.nyt; }
+    if (rng_.uniform() < 0.5) { c.z = b.z; c.nzt = b.nzt; }
+    if (rng_.uniform() < 0.5) c.layout = b.layout;
+    if (rng_.uniform() < 0.5) c.smem_budget = b.smem_budget;
+    return c;
+  };
+
+  const int init = std::min(population_, budget);
+  for (int i = 0; i < init; ++i) pop.push_back(eval(domain.sample(rng_)));
+
+  while (static_cast<int>(res.history.size()) < budget) {
+    ConvConfig child = crossover(tournament().cfg, tournament().cfg);
+    if (rng_.uniform() < mutation_rate_) {
+      const auto moves = domain.neighbors(child);
+      if (!moves.empty()) child = moves[rng_.below(moves.size())];
+    }
+    if (!domain.contains(child)) child = domain.sample(rng_);
+    Individual kid = eval(child);
+    // Steady-state replacement of the worst member.
+    auto worst = std::min_element(
+        pop.begin(), pop.end(),
+        [](const Individual& a, const Individual& b) {
+          return a.fitness < b.fitness;
+        });
+    if (kid.fitness > worst->fitness) *worst = kid;
+  }
+  return res;
+}
+
+TuneResult AteTuner::run(ConvMeasurer& measurer, int budget) {
+  TuneResult res;
+  const SearchDomain& domain = measurer.domain();
+
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;  // log runtime (log compresses the dynamic range)
+  std::set<std::string> seen;
+  Gbt model;
+
+  auto measure_and_learn = [&](const ConvConfig& cfg) {
+    const Measurement m = measurer.measure(cfg);
+    record(res, cfg, m);
+    seen.insert(config_key(cfg));
+    if (m.valid) {
+      X.push_back(config_features(domain, cfg));
+      y.push_back(std::log(m.seconds));
+    }
+    return m;
+  };
+
+  // Template-provided seeds first (snapped into the domain's S_b lattice),
+  // then random warm-up (the paper's "n_s random configurations are chosen
+  // as initial guesses").
+  for (ConvConfig seed : params_.seeds) {
+    if (static_cast<int>(res.history.size()) >= budget) break;
+    if (seed.smem_budget == 0 && !domain.smem_choices().empty()) {
+      seed.smem_budget = domain.smem_choices().front();
+    }
+    if (!seen.count(config_key(seed))) measure_and_learn(seed);
+  }
+  const int warm = std::min(params_.warmup, budget);
+  while (static_cast<int>(res.history.size()) < warm)
+    measure_and_learn(domain.sample(rng_));
+
+  while (static_cast<int>(res.history.size()) < budget) {
+    if (X.size() >= 4) model.fit(X, y, params_.gbt);
+
+    auto predict = [&](const ConvConfig& cfg) {
+      if (!model.trained()) return 0.0;
+      return model.predict(config_features(domain, cfg));
+    };
+
+    // n_s parallel random walks, each converging toward lower predicted
+    // cost (epsilon-greedy downhill walk on the lattice).
+    std::vector<std::pair<double, ConvConfig>> candidates;
+    for (int w = 0; w < params_.ns; ++w) {
+      ConvConfig cur = res.best_seconds < 1e30 && rng_.uniform() < 0.5
+                           ? res.best
+                           : domain.sample(rng_);
+      double cur_cost = predict(cur);
+      for (int step = 0; step < params_.walk_steps; ++step) {
+        const auto moves = domain.neighbors(cur);
+        if (moves.empty()) break;
+        const ConvConfig& next = moves[rng_.below(moves.size())];
+        const double next_cost = predict(next);
+        if (next_cost <= cur_cost || rng_.uniform() < params_.epsilon) {
+          cur = next;
+          cur_cost = next_cost;
+        }
+      }
+      candidates.emplace_back(cur_cost, cur);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // Measure the most promising unseen endpoints.
+    int measured_this_round = 0;
+    for (const auto& [cost, cfg] : candidates) {
+      if (static_cast<int>(res.history.size()) >= budget) break;
+      if (seen.count(config_key(cfg))) continue;
+      measure_and_learn(cfg);
+      ++measured_this_round;
+    }
+    // All walks landed on known configs: inject fresh randomness.
+    if (measured_this_round == 0 &&
+        static_cast<int>(res.history.size()) < budget) {
+      measure_and_learn(domain.sample(rng_));
+    }
+  }
+  return res;
+}
+
+}  // namespace convbound

@@ -1,0 +1,61 @@
+// Error-handling primitives.
+//
+// The library distinguishes two failure classes (C++ Core Guidelines E.x):
+//   * precondition/API misuse and environmental failures -> exceptions
+//     (`CB_CHECK`, `Error`), recoverable by the caller;
+//   * internal invariant violations -> `CB_ASSERT`, which terminates, since
+//     continuing with a corrupted simulation would silently produce wrong
+//     science.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace convbound {
+
+/// Exception type thrown on precondition violations and runtime failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CB_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace convbound
+
+/// Throws convbound::Error when `cond` is false. Usable with a streamed
+/// message: CB_CHECK(x > 0) or CB_CHECK_MSG(x > 0, "x=" << x).
+#define CB_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::convbound::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CB_CHECK_MSG(cond, stream_expr)                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream cb_check_os_;                                        \
+      cb_check_os_ << stream_expr;                                            \
+      ::convbound::detail::throw_check_failure(#cond, __FILE__, __LINE__,     \
+                                               cb_check_os_.str());           \
+    }                                                                         \
+  } while (0)
+
+/// Internal invariant; violation indicates a library bug, so terminate.
+#define CB_ASSERT(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::std::fprintf(stderr, "CB_ASSERT failed: %s at %s:%d\n", #cond,  \
+                     __FILE__, __LINE__);                               \
+      ::std::abort();                                                   \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,50 @@
+// Small integer/float math helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of `m` that is >= `a`.
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t m) {
+  return ceil_div(a, m) * m;
+}
+
+/// All positive divisors of `n`, ascending.
+inline std::vector<std::int64_t> divisors(std::int64_t n) {
+  CB_CHECK(n > 0);
+  std::vector<std::int64_t> lo, hi;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      lo.push_back(d);
+      if (d != n / d) hi.push_back(n / d);
+    }
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+/// Integer floor(sqrt(n)).
+inline std::int64_t isqrt(std::int64_t n) {
+  CB_CHECK(n >= 0);
+  auto r = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
+  while (r > 0 && r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+/// True if |a-b| <= atol + rtol*|b|.
+inline bool close(double a, double b, double rtol = 1e-5, double atol = 1e-8) {
+  return std::abs(a - b) <= atol + rtol * std::abs(b);
+}
+
+}  // namespace convbound

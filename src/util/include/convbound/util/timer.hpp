@@ -1,0 +1,23 @@
+// Wall-clock timing helper (host time; the simulator has its own model time).
+#pragma once
+
+#include <chrono>
+
+namespace convbound {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace convbound

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "convbound/bounds/composite.hpp"
+#include "convbound/bounds/conv_bounds.hpp"
+#include "convbound/bounds/matmul_bounds.hpp"
+
+namespace convbound {
+namespace {
+
+ConvShape typical_shape() {
+  ConvShape s;
+  s.cin = 256;
+  s.hin = s.win = 56;
+  s.cout = 128;
+  s.kh = s.kw = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+TEST(Composite, SingleLinearStep) {
+  // phi(k) = 2k: T(S) = S + 2S = 3S; Q >= S(|V|/T(2S) - 1).
+  std::vector<SubComputation> steps(1);
+  steps[0].phi = [](double k) { return 2 * k; };
+  steps[0].psi = [](double) { return 0.0; };
+  EXPECT_NEAR(composite_T(steps, 100), 300.0, 1e-6);
+  const double q = composite_lower_bound(1e6, 100, steps);
+  EXPECT_NEAR(q, 100 * (1e6 / 600.0 - 1), 1e-3);
+}
+
+TEST(Composite, TwoStepForwarding) {
+  // Step 1 forwards psi_1(k) = k vertices into step 2 (phi identity):
+  // T(S) = S + max_{k1+k2<=S}(k1 + (k2 + k1)) = S + 2S (k1 = S).
+  std::vector<SubComputation> steps(2);
+  steps[0].phi = [](double k) { return k; };
+  steps[0].psi = [](double k) { return k; };
+  steps[1].phi = [](double k) { return k; };
+  steps[1].psi = [](double) { return 0.0; };
+  EXPECT_NEAR(composite_T(steps, 64), 64 + 128, 1.0);
+}
+
+TEST(Composite, MatchesDirectConvClosedForm) {
+  const ConvShape s = typical_shape();
+  const double S = 4096;
+  const auto steps = direct_conv_steps(s, S);
+  const double numeric = composite_T(steps, S, 512);
+  const double closed = direct_conv_T(s, S);
+  // Closed form is the analytic max; numeric grid search must approach it
+  // from below and land close.
+  EXPECT_LE(numeric, closed * 1.001);
+  EXPECT_GE(numeric, closed * 0.95);
+}
+
+TEST(Composite, RejectsEmptySteps) {
+  std::vector<SubComputation> steps;
+  EXPECT_THROW(composite_T(steps, 10), Error);
+}
+
+TEST(DirectBound, Lemma48Count) {
+  const ConvShape s = typical_shape();
+  const double v = direct_conv_dag_vertices(s);
+  EXPECT_DOUBLE_EQ(v, (2.0 * 3 * 3 * 256 - 1) * 56 * 56 * 128);
+}
+
+TEST(DirectBound, DecreasesWithFastMemory) {
+  const ConvShape s = typical_shape();
+  double prev = 1e300;
+  for (double S : {1024.0, 4096.0, 16384.0}) {
+    const double q = direct_conv_lower_bound(s, S);
+    EXPECT_LT(q, prev);
+    EXPECT_GT(q, 0);
+    prev = q;
+  }
+}
+
+TEST(DirectBound, ScalesLikeInverseSqrtS) {
+  const ConvShape s = typical_shape();
+  const double q1 = direct_conv_lower_bound_leading(s, 1024);
+  const double q4 = direct_conv_lower_bound_leading(s, 4096);
+  EXPECT_NEAR(q1 / q4, 2.0, 1e-9);
+}
+
+TEST(DirectBound, LeadingTermTracksExactForm) {
+  const ConvShape s = typical_shape();
+  const double S = 8192;
+  const double exact = direct_conv_lower_bound(s, S);
+  const double leading = direct_conv_lower_bound_leading(s, S);
+  EXPECT_NEAR(exact / leading, 1.0, 0.1);
+}
+
+TEST(DirectBound, BatchScalesLinearly) {
+  ConvShape s = typical_shape();
+  const double q1 = direct_conv_lower_bound_leading(s, 4096);
+  s.batch = 4;
+  EXPECT_NEAR(direct_conv_lower_bound_leading(s, 4096) / q1, 4.0, 1e-9);
+}
+
+TEST(DirectDataflow, Equation20MinimisedAtOptimalityCondition) {
+  const ConvShape s = typical_shape();
+  const double R = s.reuse();
+  const std::int64_t budget = 9 * 49;  // x*y*z budget
+  // On the optimality condition: x*y = R*z.
+  const double on = direct_dataflow_reads(s, 21, 21, 49);  // 441 = 9*49
+  EXPECT_NEAR(static_cast<double>(21 * 21), R * 49, 1e-9);
+  // Off-condition tiles with the same budget must read more.
+  const double off1 = direct_dataflow_reads(s, 7, 7, budget / 49 * 9);
+  const double off2 = direct_dataflow_reads(s, 63, 63, 1);
+  EXPECT_LT(on, off1);
+  EXPECT_LT(on, off2);
+}
+
+TEST(DirectDataflow, TotalIoAboveLowerBound) {
+  const ConvShape s = typical_shape();
+  const double S = 24 * 1024;  // elements
+  EXPECT_GE(direct_dataflow_io(s, S, 1), direct_conv_lower_bound(s, S));
+}
+
+TEST(DirectDataflow, NearOptimalSequential) {
+  // Q_DC / Q_lower = O(1) when N_p = 1 (the Section 5.2 optimality claim).
+  const ConvShape s = typical_shape();
+  const double S = 24 * 1024;
+  const double ratio =
+      direct_dataflow_io(s, S, 1) / direct_conv_lower_bound(s, S);
+  EXPECT_LT(ratio, 16.0);
+  EXPECT_GE(ratio, 1.0);
+}
+
+TEST(WinogradBound, Lemma414MatchesDagCount) {
+  ConvShape s;
+  s.cin = 2;
+  s.hin = s.win = 7;  // 2x2 tiles of e=2 with r=3 -> hout=4... set below
+  s.kh = s.kw = 3;
+  s.hin = s.win = 2 * 2 + 3 - 1;  // tiles_h = 2
+  const double v = winograd_dag_vertices(s, 2);
+  EXPECT_GT(v, 0);
+}
+
+TEST(WinogradBound, DecreasesWithFastMemory) {
+  const ConvShape s = typical_shape();
+  double prev = 1e300;
+  for (double S : {1024.0, 4096.0, 16384.0}) {
+    const double q = winograd_lower_bound_leading(s, 2, S);
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(WinogradBound, LeadingFormScalesInverseSqrtS) {
+  const ConvShape s = typical_shape();
+  const double q1 = winograd_lower_bound_leading(s, 2, 1024);
+  const double q4 = winograd_lower_bound_leading(s, 2, 4096);
+  EXPECT_NEAR(q1 / q4, 2.0, 1e-9);
+}
+
+TEST(WinogradBound, RequiresSquareStride1) {
+  ConvShape s = typical_shape();
+  s.stride = 2;
+  EXPECT_THROW(winograd_dag_vertices(s, 2), Error);
+}
+
+TEST(WinogradDataflow, Equation22MinimisedAtOptimality) {
+  const ConvShape s = typical_shape();  // r = 3, R = 9
+  // Budget 9*16 = 144: optimal split x*y = 36? r^2*z = 9z; xy = 9z with
+  // xyz = 144: z = 4, xy = 36.
+  const double on = winograd_dataflow_reads(s, 2, 6, 6, 4);
+  const double off = winograd_dataflow_reads(s, 2, 12, 12, 1);
+  const double off2 = winograd_dataflow_reads(s, 2, 2, 2, 36);
+  EXPECT_LT(on, off);
+  EXPECT_LT(on, off2);
+}
+
+TEST(WinogradDataflow, TotalIoAboveLowerBound) {
+  const ConvShape s = typical_shape();
+  const double S = 24 * 1024;
+  EXPECT_GE(winograd_dataflow_io(s, 2, S, 1),
+            winograd_lower_bound(s, 2, S));
+}
+
+TEST(OptimalTile, SatisfiesCondition) {
+  const ConvShape s = typical_shape();  // R = 9
+  const OptimalTile t = optimal_output_tile(s, 9 * 49 * 1.0);
+  // z ~ sqrt(441/9) = 7, xy ~ 63.
+  EXPECT_NEAR(static_cast<double>(t.x * t.y),
+              s.reuse() * static_cast<double>(t.z),
+              0.5 * s.reuse() * static_cast<double>(t.z));
+}
+
+TEST(OptimalTile, ClampsToProblem) {
+  ConvShape s = typical_shape();
+  s.cout = 2;
+  const OptimalTile t = optimal_output_tile(s, 1e9);
+  EXPECT_LE(t.z, s.cout);
+  EXPECT_LE(t.x, s.hout());
+  EXPECT_LE(t.y, s.wout());
+}
+
+TEST(OptimalityResidual, ZeroOnCondition) {
+  const ConvShape s = typical_shape();  // R=9
+  EXPECT_NEAR(optimality_residual(s, 9, 9, 9), 0.0, 1e-12);
+  EXPECT_GT(optimality_residual(s, 9, 9, 1), 1.0);
+}
+
+TEST(MatmulBound, ClassicForm) {
+  EXPECT_NEAR(matmul_lower_bound(64, 64, 64, 128),
+              64.0 * 64 * 64 / (2 * std::sqrt(2.0) * std::sqrt(128.0)),
+              1e-6);
+  EXPECT_GT(matmul_tiled_io(64, 64, 64, 128),
+            matmul_lower_bound(64, 64, 64, 128));
+}
+
+TEST(CompositeWinograd, NumericTBelowClosedForm) {
+  const ConvShape s = typical_shape();
+  const double S = 2048;
+  const auto steps = winograd_steps(s, 2, S);
+  const double numeric = composite_T(steps, S, 48);
+  const double closed = winograd_T(s, 2, S);
+  // The closed form (inequality 18) upper-bounds the exact maximisation.
+  EXPECT_LE(numeric, closed * 1.05);
+}
+
+}  // namespace
+}  // namespace convbound

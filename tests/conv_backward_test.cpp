@@ -1,0 +1,148 @@
+// Gradient correctness: the backward references are validated against
+// finite differences of the forward reference (the gold standard for
+// autograd implementations).
+#include <gtest/gtest.h>
+
+#include "convbound/bounds/conv_bounds.hpp"
+#include "convbound/conv/backward.hpp"
+#include "convbound/conv/reference.hpp"
+
+namespace convbound {
+namespace {
+
+ConvShape bshape(std::int64_t cin, std::int64_t hw, std::int64_t cout,
+                 std::int64_t k, std::int64_t stride, std::int64_t pad,
+                 std::int64_t groups = 1) {
+  ConvShape s;
+  s.cin = cin;
+  s.hin = s.win = hw;
+  s.cout = cout;
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.groups = groups;
+  s.validate();
+  return s;
+}
+
+/// Scalar loss L = sum(out * grad_seed); dL/dout = grad_seed.
+double loss(const Tensor4<float>& out, const Tensor4<float>& seed) {
+  double l = 0;
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    l += static_cast<double>(out.data()[i]) *
+         static_cast<double>(seed.data()[i]);
+  return l;
+}
+
+class BackwardGradCheck : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(BackwardGradCheck, DataGradientMatchesFiniteDifference) {
+  const ConvShape s = GetParam();
+  ConvProblem p = make_problem(s, 97);
+  Rng rng(13);
+  Tensor4<float> seed(s.batch, s.cout, s.hout(), s.wout());
+  seed.fill_random(rng);
+
+  const Tensor4<float> grad_in =
+      conv2d_backward_data_ref(seed, p.weights, s);
+
+  const double eps = 1e-3;
+  // Probe a handful of input positions.
+  for (int probe = 0; probe < 6; ++probe) {
+    const std::int64_t i = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(p.input.size())));
+    const float orig = p.input.data()[i];
+    p.input.data()[i] = orig + static_cast<float>(eps);
+    const double lp = loss(conv2d_ref(p.input, p.weights, s), seed);
+    p.input.data()[i] = orig - static_cast<float>(eps);
+    const double lm = loss(conv2d_ref(p.input, p.weights, s), seed);
+    p.input.data()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, 5e-2)
+        << s.to_string() << " probe " << i;
+  }
+}
+
+TEST_P(BackwardGradCheck, WeightGradientMatchesFiniteDifference) {
+  const ConvShape s = GetParam();
+  ConvProblem p = make_problem(s, 101);
+  Rng rng(17);
+  Tensor4<float> seed(s.batch, s.cout, s.hout(), s.wout());
+  seed.fill_random(rng);
+
+  const Tensor4<float> grad_w =
+      conv2d_backward_weights_ref(p.input, seed, s);
+  ASSERT_EQ(grad_w.n(), s.cout);
+  ASSERT_EQ(grad_w.c(), s.cin_per_group());
+
+  const double eps = 1e-3;
+  for (int probe = 0; probe < 6; ++probe) {
+    const std::int64_t i = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(p.weights.size())));
+    const float orig = p.weights.data()[i];
+    p.weights.data()[i] = orig + static_cast<float>(eps);
+    const double lp = loss(conv2d_ref(p.input, p.weights, s), seed);
+    p.weights.data()[i] = orig - static_cast<float>(eps);
+    const double lm = loss(conv2d_ref(p.input, p.weights, s), seed);
+    p.weights.data()[i] = orig;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad_w.data()[i], numeric, 5e-2)
+        << s.to_string() << " probe " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BackwardGradCheck,
+    ::testing::Values(bshape(2, 6, 3, 3, 1, 1),      // basic
+                      bshape(3, 8, 2, 3, 2, 1),      // strided
+                      bshape(1, 7, 4, 5, 1, 2),      // 5x5
+                      bshape(2, 6, 2, 1, 1, 0),      // 1x1
+                      bshape(4, 8, 4, 3, 1, 1, 2),   // grouped
+                      bshape(4, 6, 4, 3, 1, 1, 4))); // depthwise
+
+TEST(BackwardShapes, DataEquivalentRecoversForwardCost) {
+  const ConvShape s = bshape(16, 28, 32, 3, 1, 1);
+  const ConvShape b = backward_data_equivalent_shape(s);
+  // Near-identical MAC count to the forward pass (the equivalent problem
+  // also produces gradients for the padding ring, a ~(1 + 2p/h)^2 factor).
+  EXPECT_NEAR(static_cast<double>(b.flops()) /
+                  static_cast<double>(s.flops()),
+              1.0, 0.25);
+  EXPECT_EQ(b.cin, s.cout);
+  EXPECT_EQ(b.cout, s.cin);
+  // And therefore a lower bound of the same order.
+  const double S = 8192;
+  const double fwd = direct_conv_lower_bound_leading(s, S);
+  const double bwd = direct_conv_lower_bound_leading(b, S);
+  EXPECT_GT(bwd, 0.3 * fwd);
+  EXPECT_LT(bwd, 3.0 * fwd);
+}
+
+TEST(BackwardShapes, StridedDataEquivalentIsDilated) {
+  const ConvShape s = bshape(8, 16, 8, 3, 2, 1);
+  const ConvShape b = backward_data_equivalent_shape(s);
+  EXPECT_EQ(b.hin, (s.hout() - 1) * 2 + 1);
+  EXPECT_EQ(b.stride, 1);
+  EXPECT_EQ(b.pad, s.kh - 1);
+}
+
+TEST(BackwardShapes, WeightsEquivalentCountsReduction) {
+  const ConvShape s = bshape(8, 14, 16, 3, 1, 1);
+  const ConvShape b = backward_weights_equivalent_shape(s);
+  EXPECT_EQ(b.kh, s.hout());
+  EXPECT_EQ(b.cout, s.cin);
+  EXPECT_EQ(b.cin, s.cout);
+  // Output of the equivalent problem = one kh x kw plane per (cin) channel.
+  EXPECT_EQ(b.hout(), s.kh);
+  EXPECT_EQ(b.wout(), s.kw);
+  EXPECT_EQ(b.flops(), s.flops());
+}
+
+TEST(BackwardShapes, MappingRejectsGroups) {
+  const ConvShape s = bshape(4, 8, 4, 3, 1, 1, 2);
+  EXPECT_THROW(backward_data_equivalent_shape(s), Error);
+  EXPECT_THROW(backward_weights_equivalent_shape(s), Error);
+}
+
+}  // namespace
+}  // namespace convbound

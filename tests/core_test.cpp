@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "convbound/convbound.hpp"
+
+namespace convbound {
+namespace {
+
+TEST(Api, Conv2dMatchesReference) {
+  ConvShape s;
+  s.cin = 8;
+  s.hin = s.win = 12;
+  s.cout = 8;
+  s.kh = s.kw = 3;
+  s.pad = 1;
+  const ConvProblem p = make_problem(s, 2024);
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  SimGpu gpu(MachineSpec::v100());
+  const ConvResult r = conv2d(gpu, p.input, p.weights, s);
+  EXPECT_TRUE(allclose(expect, r.output, 1e-3, 1e-3));
+  EXPECT_GT(r.stats.sim_time, 0);
+}
+
+TEST(Api, Conv2dHandlesStridedShapes) {
+  ConvShape s;
+  s.cin = 4;
+  s.hin = s.win = 15;
+  s.cout = 8;
+  s.kh = s.kw = 5;
+  s.stride = 2;
+  const ConvProblem p = make_problem(s, 11);
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  SimGpu gpu(MachineSpec::gtx1080ti());
+  const ConvResult r = conv2d(gpu, p.input, p.weights, s);
+  EXPECT_TRUE(allclose(expect, r.output, 1e-3, 1e-3));
+}
+
+TEST(Api, LowerBoundPositiveAndMonotone) {
+  ConvShape s;
+  s.cin = 128;
+  s.hin = s.win = 28;
+  s.cout = 128;
+  s.kh = s.kw = 3;
+  s.pad = 1;
+  const double q1 = conv_lower_bound(s, 4096);
+  const double q2 = conv_lower_bound(s, 16384);
+  EXPECT_GT(q1, 0);
+  EXPECT_GT(q1, q2);
+}
+
+TEST(Api, LowerBoundPicksWinogradWhenApplicable) {
+  ConvShape s;
+  s.cin = 128;
+  s.hin = s.win = 28;
+  s.cout = 128;
+  s.kh = s.kw = 3;
+  s.pad = 1;
+  const double both = conv_lower_bound(s, 4096);
+  EXPECT_LE(both, direct_conv_lower_bound(s, 4096));
+  s.stride = 2;  // winograd not applicable
+  EXPECT_DOUBLE_EQ(conv_lower_bound(s, 4096),
+                   direct_conv_lower_bound(s, 4096));
+}
+
+}  // namespace
+}  // namespace convbound

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "convbound/conv/direct.hpp"
+#include "convbound/conv/reference.hpp"
+#include "convbound/fft/fft.hpp"
+#include "convbound/fft/fft_conv.hpp"
+#include "convbound/pebble/game.hpp"
+#include "convbound/pebble/generators.hpp"
+
+namespace convbound {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(1023), 1024);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(fft_inplace(v), Error);
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(1);
+  std::vector<Complex> v(64), orig;
+  for (auto& x : v) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  orig = v;
+  fft_inplace(v);
+  ifft_inplace(v);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(std::abs(v[i] - orig[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, DeltaTransformsToOnes) {
+  std::vector<Complex> v(16, Complex{});
+  v[0] = 1.0;
+  fft_inplace(v);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(3);
+  std::vector<Complex> v(128);
+  double time_energy = 0;
+  for (auto& x : v) {
+    x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    time_energy += std::norm(x);
+  }
+  fft_inplace(v);
+  double freq_energy = 0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-8 * freq_energy);
+}
+
+TEST(Fft, LinearConvolutionMatchesNaive) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t na = 3 + rng.below(12), nb = 2 + rng.below(9);
+    std::vector<double> a(na), b(nb);
+    for (auto& x : a) x = rng.uniform(-1, 1);
+    for (auto& x : b) x = rng.uniform(-1, 1);
+    const auto got = fft_linear_convolve(a, b);
+    ASSERT_EQ(got.size(), na + nb - 1);
+    for (std::size_t n = 0; n < got.size(); ++n) {
+      double want = 0;
+      for (std::size_t i = 0; i < na; ++i) {
+        if (n >= i && n - i < nb) want += a[i] * b[n - i];
+      }
+      EXPECT_NEAR(got[n], want, 1e-9) << "trial " << trial << " n " << n;
+    }
+  }
+}
+
+TEST(Fft, TwoDimensionalRoundTrip) {
+  Rng rng(7);
+  std::vector<Complex> v(16 * 8), orig;
+  for (auto& x : v) x = Complex(rng.uniform(-1, 1), 0.0);
+  orig = v;
+  fft2_inplace(v, 16, 8);
+  fft2_inplace(v, 16, 8, /*inverse=*/true);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(std::abs(v[i] / 128.0 - orig[i]), 0.0, 1e-10);
+}
+
+TEST(FftBound, GrowsWithNShrinksWithS) {
+  EXPECT_GT(fft_lower_bound(1 << 20, 1024), fft_lower_bound(1 << 18, 1024));
+  EXPECT_GT(fft_lower_bound(1 << 20, 256), fft_lower_bound(1 << 20, 4096));
+}
+
+TEST(FftDag, StructureAndGame) {
+  const std::int64_t n = 64;
+  const Dag dag = fft_dag(n);
+  EXPECT_EQ(dag.num_inputs, static_cast<std::size_t>(n));
+  EXPECT_EQ(dag.num_outputs, static_cast<std::size_t>(n));
+  // log2(n) stages of n vertices each.
+  EXPECT_EQ(dag.num_vertices(), static_cast<std::size_t>(n + n * 6));
+  const GameResult r = play_pebble_game(dag, 16);
+  EXPECT_GE(static_cast<double>(r.total()), fft_lower_bound(n, 16.0));
+}
+
+TEST(FftDag, MoreMemoryHelpsButterflies) {
+  const Dag dag = fft_dag(256);
+  const auto small = play_pebble_game(dag, 8);
+  const auto large = play_pebble_game(dag, 128);
+  EXPECT_LT(large.total(), small.total());
+}
+
+// --------------------------------------------------------------- fft conv --
+
+struct FftConvCase {
+  ConvShape s;
+  std::int64_t tile;
+};
+
+class FftConvCorrectness : public ::testing::TestWithParam<FftConvCase> {};
+
+TEST_P(FftConvCorrectness, MatchesReference) {
+  const auto& p = GetParam();
+  const ConvProblem prob = make_problem(p.s, 51);
+  const Tensor4<float> expect = conv2d_ref(prob.input, prob.weights, p.s);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(p.s.batch, p.s.cout, p.s.hout(), p.s.wout());
+  FftConvConfig cfg;
+  cfg.tile = p.tile;
+  fft_conv_sim(gpu, prob.input, prob.weights, p.s, out, cfg);
+  EXPECT_TRUE(allclose(expect, out, 1e-3, 1e-3))
+      << p.s.to_string() << " tile=" << p.tile
+      << " maxdiff=" << max_abs_diff(expect, out);
+}
+
+ConvShape fshape(std::int64_t b, std::int64_t cin, std::int64_t hw,
+                 std::int64_t cout, std::int64_t k, std::int64_t pad) {
+  ConvShape s;
+  s.batch = b;
+  s.cin = cin;
+  s.hin = s.win = hw;
+  s.cout = cout;
+  s.kh = s.kw = k;
+  s.stride = 1;
+  s.pad = pad;
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FftConvCorrectness,
+    ::testing::Values(FftConvCase{fshape(1, 1, 8, 1, 3, 0), 8},
+                      FftConvCase{fshape(1, 3, 12, 4, 3, 1), 16},
+                      FftConvCase{fshape(1, 2, 16, 3, 5, 2), 16},
+                      FftConvCase{fshape(2, 2, 10, 2, 3, 1), 8},
+                      FftConvCase{fshape(1, 4, 20, 4, 7, 3), 32},
+                      FftConvCase{fshape(1, 2, 9, 2, 3, 0), 8}));
+
+TEST(FftConv, RequiresStrideOne) {
+  ConvShape s = fshape(1, 2, 10, 2, 3, 1);
+  s.stride = 2;
+  const ConvProblem prob = make_problem(s, 1);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  EXPECT_THROW(fft_conv_sim(gpu, prob.input, prob.weights, s, out), Error);
+}
+
+TEST(FftConv, IoEstimateTracksMeasurement) {
+  const ConvShape s = fshape(1, 8, 24, 8, 3, 1);
+  const ConvProblem prob = make_problem(s, 5);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const auto stats = fft_conv_sim(gpu, prob.input, prob.weights, s, out);
+  const double est = fft_conv_io_estimate(s, 32) * sizeof(float);
+  const double ratio = static_cast<double>(stats.bytes_total()) / est;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(FftConv, LargeKernelBeatsDirectOnFlops) {
+  // FFT convolution's raison d'etre: flops nearly independent of kernel
+  // size. With an 11x11 kernel it needs fewer flops than direct
+  // accumulation.
+  const ConvShape s = fshape(1, 8, 32, 8, 11, 5);
+  const ConvProblem prob = make_problem(s, 5);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const auto fft = fft_conv_sim(gpu, prob.input, prob.weights, s, out);
+  ConvConfig cfg;
+  cfg.x = cfg.y = 8;
+  cfg.z = 8;
+  const auto direct = direct_tiled_sim(gpu, prob.input, prob.weights, s, cfg,
+                                       out);
+  EXPECT_LT(fft.flops, direct.flops);
+}
+
+}  // namespace
+}  // namespace convbound

@@ -1,0 +1,210 @@
+// Property-based tests: randomised problem shapes and configurations are
+// checked against the reference oracle and the theory's invariants. Seeds
+// are fixed, so failures replay deterministically.
+#include <gtest/gtest.h>
+
+#include "convbound/bounds/conv_bounds.hpp"
+#include "convbound/conv/algorithms.hpp"
+#include "convbound/conv/reference.hpp"
+#include "convbound/pebble/game.hpp"
+#include "convbound/pebble/generators.hpp"
+#include "convbound/tune/domain.hpp"
+
+namespace convbound {
+namespace {
+
+ConvShape random_shape(Rng& rng, bool stride_one = false) {
+  ConvShape s;
+  s.batch = rng.range(1, 2);
+  s.cin = rng.range(1, 12);
+  s.cout = rng.range(1, 12);
+  s.kh = s.kw = rng.range(1, 5);
+  s.stride = stride_one ? 1 : rng.range(1, 3);
+  s.pad = rng.range(0, s.kh - 1);
+  // Input large enough for at least one output.
+  const std::int64_t min_in = s.kh + s.stride * 2 - 2 * s.pad;
+  s.hin = s.win = std::max<std::int64_t>(min_in, rng.range(5, 18));
+  s.validate();
+  return s;
+}
+
+ConvConfig random_config(Rng& rng, const ConvShape& s) {
+  ConvConfig c;
+  c.x = rng.range(1, std::min<std::int64_t>(12, s.hout()));
+  c.y = rng.range(1, std::min<std::int64_t>(12, s.wout()));
+  c.z = rng.range(1, s.cout);
+  c.nxt = 1 + static_cast<int>(rng.below(3));
+  c.nyt = 1 + static_cast<int>(rng.below(3));
+  c.nzt = 1;
+  c.layout = kAllLayouts[rng.below(kAllLayouts.size())];
+  return c;
+}
+
+class DirectTiledFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectTiledFuzz, RandomShapeAndTileMatchReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const ConvShape s = random_shape(rng);
+  const ConvConfig cfg = random_config(rng, s);
+  const ConvProblem p = make_problem(s, rng(), cfg.layout);
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const auto stats = direct_tiled_sim(gpu, p.input, p.weights, s, cfg, out);
+  EXPECT_TRUE(allclose(expect, out, 1e-3, 1e-3))
+      << s.to_string() << " " << cfg.to_string();
+  // Invariants: outputs stored exactly once; flops match the shape.
+  EXPECT_EQ(stats.bytes_stored,
+            static_cast<std::uint64_t>(s.output_elems() * 4));
+  EXPECT_EQ(stats.flops, static_cast<std::uint64_t>(s.flops()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectTiledFuzz, ::testing::Range(0, 24));
+
+class GroupedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupedFuzz, RandomGroupedShapesMatchReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  ConvShape s = random_shape(rng);
+  // Pick a group count dividing both channel counts.
+  const std::int64_t g = rng.range(1, 4);
+  s.cin = s.cin * g;
+  s.cout = s.cout * g;
+  s.groups = g;
+  s.validate();
+  const ConvConfig cfg = random_config(rng, s);
+  const ConvProblem p = make_problem(s, rng(), cfg.layout);
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  direct_tiled_sim(gpu, p.input, p.weights, s, cfg, out);
+  EXPECT_TRUE(allclose(expect, out, 1e-3, 1e-3))
+      << s.to_string() << " " << cfg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedFuzz, ::testing::Range(0, 12));
+
+class WinogradFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinogradFuzz, RandomStrideOneShapesMatchReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  ConvShape s = random_shape(rng, /*stride_one=*/true);
+  s.kh = s.kw = rng.range(2, 3);  // r in {2, 3}
+  s.pad = rng.range(0, s.kh - 1);
+  s.validate();
+  const std::int64_t e = rng.range(2, 4);
+  const ConvConfig cfg = random_config(rng, s);
+  const ConvProblem p = make_problem(s, rng(), cfg.layout);
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  SimGpu gpu(MachineSpec::v100());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  winograd_fused_sim(gpu, p.input, p.weights, s, e, cfg, out);
+  EXPECT_TRUE(allclose(expect, out, 1e-3, 1e-3))
+      << s.to_string() << " e=" << e << " " << cfg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WinogradFuzz, ::testing::Range(0, 16));
+
+/// Random layered DAGs: pebble-game invariants must hold regardless of
+/// structure.
+class PebbleFuzz : public ::testing::TestWithParam<int> {};
+
+Dag random_layered_dag(Rng& rng) {
+  DagBuilder b;
+  const int layers = static_cast<int>(rng.range(2, 5));
+  std::vector<VertexId> prev;
+  const int n_inputs = static_cast<int>(rng.range(3, 24));
+  for (int i = 0; i < n_inputs; ++i) prev.push_back(b.add_input());
+  for (int l = 0; l < layers; ++l) {
+    std::vector<VertexId> cur;
+    const int width = static_cast<int>(rng.range(2, 20));
+    for (int i = 0; i < width; ++i) {
+      const VertexId p1 = prev[rng.below(prev.size())];
+      const VertexId p2 = prev[rng.below(prev.size())];
+      cur.push_back(p1 == p2 ? b.add_vertex({p1})
+                             : b.add_vertex({p1, p2}));
+    }
+    prev = std::move(cur);
+  }
+  for (VertexId v : prev) b.mark_output(v);
+  return b.build();
+}
+
+TEST_P(PebbleFuzz, GameInvariantsOnRandomDags) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  const Dag dag = random_layered_dag(rng);
+  const std::size_t s_small = dag.max_in_degree + 1 + rng.below(4);
+  const std::size_t s_large = dag.num_vertices() + 4;
+
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kBelady, EvictionPolicy::kLru}) {
+    const GameResult small = play_pebble_game(dag, s_small, policy);
+    const GameResult large = play_pebble_game(dag, s_large, policy);
+    // Cold traffic floors every run; infinite memory achieves it exactly.
+    EXPECT_GE(small.total(), cold_traffic(dag));
+    EXPECT_EQ(large.total(), cold_traffic(dag));
+    EXPECT_LE(large.total(), small.total());
+    // Every output must be written at least once.
+    EXPECT_GE(small.stores, dag.num_outputs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PebbleFuzz, ::testing::Range(0, 16));
+
+/// Domain properties under random shapes.
+class DomainFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomainFuzz, SamplesNeighborsAndPruningInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  ConvShape s = random_shape(rng);
+  s.cout = std::max<std::int64_t>(2, s.cout);
+  s.validate();
+  const MachineSpec spec = MachineSpec::gtx1080ti();
+  const auto pruned =
+      SearchDomain::build(s, spec, {.prune_with_optimality = true});
+  const auto full =
+      SearchDomain::build(s, spec, {.prune_with_optimality = false});
+  EXPECT_LE(pruned.size(), full.size());
+  if (pruned.size() == 0) return;  // tiny shapes can prune to nothing
+
+  for (int i = 0; i < 8; ++i) {
+    const ConvConfig c = pruned.sample(rng);
+    EXPECT_TRUE(pruned.contains(c));
+    EXPECT_TRUE(full.contains(c));  // pruned subset of full
+    for (const auto& n : pruned.neighbors(c)) {
+      EXPECT_TRUE(pruned.contains(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainFuzz, ::testing::Range(0, 10));
+
+/// Bound properties under random shapes: positivity, monotone decrease in
+/// S, and validity against an executed kernel.
+class BoundFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundFuzz, BoundsPositiveMonotoneAndRespected) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 9);
+  const ConvShape s = random_shape(rng);
+  double prev = 1e300;
+  for (double S : {512.0, 2048.0, 8192.0}) {
+    const double q = direct_conv_lower_bound_leading(s, S);
+    EXPECT_GT(q, 0) << s.to_string();
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+  SimGpu gpu(MachineSpec::v100());
+  const ConvProblem p = make_problem(s, rng());
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const auto stats = direct_tiled_sim(gpu, p.input, p.weights, s,
+                                      default_tiled_config(s, gpu.spec()),
+                                      out);
+  EXPECT_GE(static_cast<double>(stats.bytes_total()) / 4.0,
+            direct_conv_lower_bound(
+                s, static_cast<double>(gpu.spec().smem_floats())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace convbound

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "convbound/ml/gbt.hpp"
+#include "convbound/util/check.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+namespace {
+
+std::pair<std::vector<std::vector<double>>, std::vector<double>> make_data(
+    int n, int d, Rng& rng, double (*f)(const std::vector<double>&)) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row(static_cast<std::size_t>(d));
+    for (auto& v : row) v = rng.uniform(-2, 2);
+    y.push_back(f(row));
+    X.push_back(std::move(row));
+  }
+  return {X, y};
+}
+
+double mean_baseline_rmse(const std::vector<double>& y) {
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double se = 0;
+  for (double v : y) se += (v - mean) * (v - mean);
+  return std::sqrt(se / static_cast<double>(y.size()));
+}
+
+TEST(Gbt, FitsConstantExactly) {
+  Gbt model;
+  std::vector<std::vector<double>> X = {{0}, {1}, {2}, {3}};
+  std::vector<double> y = {5, 5, 5, 5};
+  model.fit(X, y);
+  EXPECT_NEAR(model.predict({1.5}), 5.0, 1e-9);
+}
+
+TEST(Gbt, LearnsStepFunction) {
+  Rng rng(1);
+  auto [X, y] = make_data(400, 1, rng, [](const std::vector<double>& x) {
+    return x[0] > 0 ? 10.0 : -10.0;
+  });
+  Gbt model;
+  model.fit(X, y);
+  EXPECT_NEAR(model.predict({1.0}), 10.0, 1.0);
+  EXPECT_NEAR(model.predict({-1.0}), -10.0, 1.0);
+}
+
+TEST(Gbt, BeatsMeanPredictorOnNonlinearTarget) {
+  Rng rng(2);
+  auto [X, y] = make_data(600, 3, rng, [](const std::vector<double>& x) {
+    return x[0] * x[1] + std::abs(x[2]);
+  });
+  Gbt model;
+  model.fit(X, y);
+  EXPECT_LT(model.rmse(X, y), 0.4 * mean_baseline_rmse(y));
+}
+
+TEST(Gbt, MoreTreesFitBetter) {
+  Rng rng(3);
+  auto [X, y] = make_data(500, 2, rng, [](const std::vector<double>& x) {
+    return std::sin(x[0]) * x[1];
+  });
+  GbtParams small;
+  small.num_trees = 4;
+  GbtParams big;
+  big.num_trees = 128;
+  Gbt a, b;
+  a.fit(X, y, small);
+  b.fit(X, y, big);
+  EXPECT_LT(b.rmse(X, y), a.rmse(X, y));
+}
+
+TEST(Gbt, GeneralisesOnHeldOut) {
+  Rng rng(4);
+  auto f = [](const std::vector<double>& x) { return 3 * x[0] - x[1]; };
+  auto [X, y] = make_data(800, 2, rng, f);
+  auto [Xt, yt] = make_data(200, 2, rng, f);
+  Gbt model;
+  model.fit(X, y);
+  EXPECT_LT(model.rmse(Xt, yt), 0.35 * mean_baseline_rmse(yt));
+}
+
+TEST(Gbt, RejectsEmptyAndRagged) {
+  Gbt model;
+  EXPECT_THROW(model.fit({}, {}), Error);
+  EXPECT_THROW(model.fit({{1, 2}, {3}}, {1, 2}), Error);
+  EXPECT_THROW(model.predict({1.0}), Error);  // before fit
+}
+
+TEST(Gbt, PredictChecksArity) {
+  Gbt model;
+  model.fit({{1, 2}, {2, 3}, {3, 4}, {4, 5}}, {1, 2, 3, 4});
+  EXPECT_THROW(model.predict({1.0}), Error);
+  EXPECT_NO_THROW(model.predict({1.0, 2.0}));
+}
+
+TEST(Gbt, DeterministicAcrossRefits) {
+  Rng rng(5);
+  auto [X, y] = make_data(200, 2, rng, [](const std::vector<double>& x) {
+    return x[0] + x[1] * x[1];
+  });
+  Gbt a, b;
+  a.fit(X, y);
+  b.fit(X, y);
+  for (const auto& row : X) EXPECT_DOUBLE_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(Gbt, HandlesDuplicateFeatureValues) {
+  // All rows share feature values but targets differ: must not split on
+  // equal values, must fall back to the mean.
+  Gbt model;
+  std::vector<std::vector<double>> X(10, {1.0, 2.0});
+  std::vector<double> y = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  model.fit(X, y);
+  EXPECT_NEAR(model.predict({1.0, 2.0}), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace convbound

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "convbound/tune/cache.hpp"
+
+namespace convbound {
+namespace {
+
+TuneCache::Entry entry(std::int64_t x, double gflops) {
+  TuneCache::Entry e;
+  e.config.x = x;
+  e.config.y = 7;
+  e.config.z = 3;
+  e.config.nxt = 2;
+  e.config.nyt = 7;
+  e.config.nzt = 1;
+  e.config.layout = Layout::kNHWC;
+  e.config.smem_budget = 24576;
+  e.gflops = gflops;
+  return e;
+}
+
+TEST(TuneCache, PutGetRoundTrip) {
+  TuneCache cache;
+  cache.put("k1", entry(4, 100));
+  ASSERT_TRUE(cache.get("k1").has_value());
+  EXPECT_EQ(cache.get("k1")->config.x, 4);
+  EXPECT_FALSE(cache.get("missing").has_value());
+}
+
+TEST(TuneCache, BetterEntryWins) {
+  TuneCache cache;
+  cache.put("k", entry(4, 100));
+  cache.put("k", entry(8, 50));  // worse: ignored
+  EXPECT_EQ(cache.get("k")->config.x, 4);
+  cache.put("k", entry(8, 200));  // better: replaces
+  EXPECT_EQ(cache.get("k")->config.x, 8);
+  cache.put("k", entry(2, 1), /*force=*/true);
+  EXPECT_EQ(cache.get("k")->config.x, 2);
+}
+
+TEST(TuneCache, SerializeDeserializeIdentity) {
+  TuneCache cache;
+  cache.put("machine;direct;conv[b=1]", entry(4, 123.45));
+  cache.put("machine;winograd2;conv[b=2]", entry(6, 678.9));
+  const TuneCache back = TuneCache::deserialize(cache.serialize());
+  EXPECT_EQ(back.size(), 2u);
+  const auto e = back.get("machine;direct;conv[b=1]");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->config.x, 4);
+  EXPECT_EQ(e->config.layout, Layout::kNHWC);
+  EXPECT_EQ(e->config.smem_budget, 24576);
+  EXPECT_NEAR(e->gflops, 123.45, 1e-9);
+}
+
+TEST(TuneCache, RejectsMalformedInput) {
+  EXPECT_THROW(TuneCache::deserialize("no separators here"), Error);
+  EXPECT_THROW(TuneCache::deserialize("key|1 2 3|x only one sep... |"),
+               Error);
+  TuneCache cache;
+  EXPECT_THROW(cache.put("bad|key", entry(1, 1)), Error);
+}
+
+TEST(TuneCache, FileRoundTrip) {
+  const std::string path = "/tmp/convbound_cache_test.txt";
+  TuneCache cache;
+  cache.put("a", entry(4, 10));
+  cache.put("b", entry(8, 20));
+  cache.save(path);
+  const TuneCache loaded = TuneCache::load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.get("b")->config.x, 8);
+  std::remove(path.c_str());
+}
+
+TEST(TuneCache, MergeKeepsBest) {
+  TuneCache a, b;
+  a.put("k", entry(4, 100));
+  a.put("only_a", entry(2, 1));
+  b.put("k", entry(8, 200));
+  b.put("only_b", entry(6, 3));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.get("k")->config.x, 8);
+}
+
+TEST(TuneCache, KeyEncodesTask) {
+  const MachineSpec spec = MachineSpec::v100();
+  ConvShape s;
+  s.cin = 3;
+  s.hin = s.win = 8;
+  s.kh = s.kw = 3;
+  const std::string direct = TuneCache::make_key(spec, s, false, 2);
+  const std::string wino = TuneCache::make_key(spec, s, true, 2);
+  const std::string wino4 = TuneCache::make_key(spec, s, true, 4);
+  EXPECT_NE(direct, wino);
+  EXPECT_NE(wino, wino4);
+  EXPECT_NE(direct.find("V100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace convbound

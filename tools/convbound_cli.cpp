@@ -1,0 +1,229 @@
+// convbound-cli — command-line front end for the library.
+//
+// Subcommands:
+//   bound  --cin N --in N --cout N [--ker N --stride N --pad N --smem KB]
+//       Print I/O lower bounds and dataflow predictions for a shape.
+//   run    --cin N --in N --cout N [...] [--machine NAME] [--algo NAME]
+//       Execute one convolution on the simulated machine and report stats.
+//   tune   --cin N --in N --cout N [...] [--budget N] [--cache FILE]
+//       Auto-tune the dataflow; optionally persist the result to a cache.
+//   models [--machine NAME]
+//       Compare baseline vs our dataflows across the CNN model zoo.
+//
+// Machines: 1080ti, titanx, v100 (default), gfx906.
+// Algorithms: tiled (default), naive, im2col, cudnn, winograd, phased, fft.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "convbound/convbound.hpp"
+#include "convbound/tune/cache.hpp"
+
+namespace {
+
+using namespace convbound;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::int64_t geti(const std::string& key, std::int64_t def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::stoll(it->second);
+  }
+  std::string gets(const std::string& key, const std::string& def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+};
+
+Args parse(int argc, char** argv, int start) {
+  Args a;
+  for (int i = start; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    CB_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got " << key);
+    a.kv[key.substr(2)] = argv[i + 1];
+  }
+  return a;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  if (name == "1080ti") return MachineSpec::gtx1080ti();
+  if (name == "titanx") return MachineSpec::titan_x();
+  if (name == "v100") return MachineSpec::v100();
+  if (name == "gfx906") return MachineSpec::gfx906();
+  CB_CHECK_MSG(false, "unknown machine '" << name
+                                          << "' (1080ti|titanx|v100|gfx906)");
+  return {};
+}
+
+ConvShape shape_from(const Args& a) {
+  ConvShape s;
+  s.batch = a.geti("batch", 1);
+  s.cin = a.geti("cin", 64);
+  s.hin = s.win = a.geti("in", 56);
+  s.cout = a.geti("cout", 64);
+  s.kh = s.kw = a.geti("ker", 3);
+  s.stride = a.geti("stride", 1);
+  s.pad = a.geti("pad", s.kh / 2);
+  s.groups = a.geti("groups", 1);
+  s.validate();
+  return s;
+}
+
+int cmd_bound(const Args& a) {
+  const ConvShape s = shape_from(a);
+  const double S = static_cast<double>(a.geti("smem", 96) * 1024 / 4);
+  std::printf("shape: %s   R = %.2f   S = %.0f floats\n",
+              s.to_string().c_str(), s.reuse(), S);
+  std::printf("direct conv lower bound (Thm 4.12):   %.3f MB\n",
+              direct_conv_lower_bound(s, S) * 4e-6);
+  std::printf("direct dataflow I/O (Eq 21, Np=1):    %.3f MB\n",
+              direct_dataflow_io(s, S, 1) * 4e-6);
+  if (algorithm_supports(ConvAlgorithm::kWinogradFused, s)) {
+    std::printf("winograd lower bound (Thm 4.20, e=2): %.3f MB\n",
+                winograd_lower_bound(s, 2, S) * 4e-6);
+    std::printf("winograd dataflow I/O (Np=1):         %.3f MB\n",
+                winograd_dataflow_io(s, 2, S, 1) * 4e-6);
+  }
+  const OptimalTile t = optimal_output_tile(s, S / 4);
+  std::printf("optimality-condition tile at S/4 budget: x=%lld y=%lld z=%lld\n",
+              static_cast<long long>(t.x), static_cast<long long>(t.y),
+              static_cast<long long>(t.z));
+  return 0;
+}
+
+int cmd_run(const Args& a) {
+  const ConvShape s = shape_from(a);
+  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  const std::string algo_name = a.gets("algo", "tiled");
+  const ConvProblem p = make_problem(s, a.geti("seed", 1));
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+
+  LaunchStats stats;
+  if (algo_name == "fft") {
+    stats = fft_conv_sim(gpu, p.input, p.weights, s, out);
+  } else {
+    const std::map<std::string, ConvAlgorithm> algos = {
+        {"tiled", ConvAlgorithm::kDirectTiled},
+        {"naive", ConvAlgorithm::kDirectNaive},
+        {"im2col", ConvAlgorithm::kIm2col},
+        {"cudnn", ConvAlgorithm::kCudnnDirect},
+        {"winograd", ConvAlgorithm::kWinogradFused},
+        {"phased", ConvAlgorithm::kWinogradPhased}};
+    const auto it = algos.find(algo_name);
+    CB_CHECK_MSG(it != algos.end(), "unknown algorithm '" << algo_name << "'");
+    CB_CHECK_MSG(algorithm_supports(it->second, s),
+                 to_string(it->second) << " does not support "
+                                       << s.to_string());
+    const ConvConfig cfg =
+        it->second == ConvAlgorithm::kWinogradFused
+            ? default_winograd_config(s, 2, gpu.spec())
+            : default_tiled_config(s, gpu.spec());
+    ConvResult r = run_conv(gpu, it->second, p.input, p.weights, s, cfg);
+    stats = r.stats;
+    out = std::move(r.output);
+  }
+  // Verify against the reference oracle.
+  const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+  const bool ok = allclose(expect, out, 1e-3, 1e-3);
+  std::printf("%s on %s (%s)\n", algo_name.c_str(), gpu.spec().name.c_str(),
+              s.to_string().c_str());
+  std::printf("  correct:   %s\n", ok ? "yes" : "NO  <-- bug!");
+  std::printf("  sim time:  %.3f us\n", stats.sim_time * 1e6);
+  std::printf("  GFlops:    %.0f\n", stats.gflops());
+  // Exact Thm 4.12 can be vacuous (zero) at small scales; fall back to the
+  // leading term so the ratio stays informative.
+  const double S = static_cast<double>(gpu.spec().smem_floats());
+  const double bound = std::max(direct_conv_lower_bound(s, S),
+                                direct_conv_lower_bound_leading(s, S));
+  std::printf("  I/O:       %.3f MB (%.1fx the Thm 4.12 bound)\n",
+              static_cast<double>(stats.bytes_total()) / 1e6,
+              static_cast<double>(stats.bytes_total()) / 4.0 / bound);
+  return ok ? 0 : 1;
+}
+
+int cmd_tune(const Args& a) {
+  const ConvShape s = shape_from(a);
+  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  AutotuneOptions opts;
+  opts.budget = static_cast<int>(a.geti("budget", 64));
+  opts.winograd = a.geti("winograd", 0) != 0;
+  opts.seed = static_cast<std::uint64_t>(a.geti("seed", 1));
+
+  const std::string cache_path = a.gets("cache", "");
+  const std::string key =
+      TuneCache::make_key(gpu.spec(), s, opts.winograd, opts.e);
+  TuneCache cache;
+  if (!cache_path.empty()) {
+    try {
+      cache = TuneCache::load(cache_path);
+      if (const auto hit = cache.get(key)) {
+        std::printf("cache hit: %s -> %.0f GFlops (%s)\n", key.c_str(),
+                    hit->gflops, hit->config.to_string().c_str());
+        return 0;
+      }
+    } catch (const Error&) {
+      // no cache file yet — will create one below
+    }
+  }
+
+  const AutotuneOutcome outcome = autotune_conv(gpu, s, opts);
+  std::printf("domain: %llu configurations; best after %zu trials:\n",
+              static_cast<unsigned long long>(outcome.domain.size()),
+              outcome.result.history.size());
+  std::printf("  %s -> %.0f GFlops (converged at trial %d)\n",
+              outcome.result.best.to_string().c_str(), outcome.best_gflops,
+              outcome.result.trials_to_converge());
+  if (!cache_path.empty()) {
+    cache.put(key, {outcome.result.best, outcome.best_gflops});
+    cache.save(cache_path);
+    std::printf("saved to %s\n", cache_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_models(const Args& a) {
+  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  Table t({"model", "conv GFLOP", "baseline (ms)", "ours (ms)", "speedup"});
+  auto zoo = model_zoo(a.geti("batch", 1));
+  zoo.emplace_back("MobileNet-v1", mobilenet_v1(a.geti("batch", 1)));
+  for (const auto& [name, layers] : zoo) {
+    const ModelReport base =
+        run_model(gpu, name, layers, ModelStrategy::kBaseline);
+    const ModelReport ours =
+        run_model(gpu, name, layers, ModelStrategy::kOursDefault);
+    t.add_row({name,
+               Table::fmt(static_cast<double>(model_flops(layers)) / 1e9, 2),
+               Table::fmt(base.total_seconds * 1e3, 2),
+               Table::fmt(ours.total_seconds * 1e3, 2),
+               Table::fmt(base.total_seconds / ours.total_seconds, 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: convbound-cli <bound|run|tune|models> [--flag value]...\n"
+               "  see the header comment of tools/convbound_cli.cpp\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse(argc, argv, 2);
+    if (cmd == "bound") return cmd_bound(a);
+    if (cmd == "run") return cmd_run(a);
+    if (cmd == "tune") return cmd_tune(a);
+    if (cmd == "models") return cmd_models(a);
+    return usage();
+  } catch (const convbound::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
