@@ -15,14 +15,103 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "convbound/convbound.hpp"
 
 namespace convbound::bench {
+
+/// Minimal ordered JSON emitter for machine-readable BENCH_*.json files —
+/// dependency-free, enough for flat objects, arrays and one nesting level.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double v) {
+    return add_raw(key, fmt_number(v));
+  }
+  JsonObject& add(const std::string& key, int v) {
+    return add_raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, bool v) {
+    return add_raw(key, v ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, const std::string& v) {
+    return add_raw(key, quote(v));
+  }
+  // Without this overload a string literal would convert to bool.
+  JsonObject& add(const std::string& key, const char* v) {
+    return add_raw(key, quote(v));
+  }
+  JsonObject& add(const std::string& key, const std::vector<double>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += fmt_number(v[i]);
+    }
+    return add_raw(key, out + "]");
+  }
+  JsonObject& add(const std::string& key, const std::vector<int>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(v[i]);
+    }
+    return add_raw(key, out + "]");
+  }
+  /// Pre-serialised value (a nested object or array of objects).
+  JsonObject& add_raw(const std::string& key, const std::string& raw) {
+    if (!fields_.empty()) fields_ += ",";
+    fields_ += quote(key) + ":" + raw;
+    return *this;
+  }
+  std::string to_string() const { return "{" + fields_ + "}"; }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+  static std::string fmt_number(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+ private:
+  std::string fields_;
+};
+
+/// Joins pre-serialised JSON values into an array.
+inline std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ",";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+/// Writes a BENCH_<name>.json trajectory file next to the working directory
+/// (override the directory with CONVBOUND_BENCH_DIR).
+inline void write_bench_json(const std::string& bench_name,
+                             const JsonObject& obj) {
+  const char* dir = std::getenv("CONVBOUND_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+      bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  CB_CHECK_MSG(out.good(), "cannot write bench json '" << path << "'");
+  out << obj.to_string() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Result sink shared between registered benchmarks and the summary
 /// printer. Keyed by an experiment-specific label.

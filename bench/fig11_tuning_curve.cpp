@@ -5,15 +5,23 @@
 // Ours = the auto-tuning engine (GBT cost model + parallel random walk on
 // the optimality-pruned domain); the TVM searcher family = simulated
 // annealing / genetic / random on the unpruned domain.
+//
+// All tuners run through the batched parallel measurement engine
+// (BatchMeasurer); the ATE method is additionally re-run through the serial
+// ConvMeasurer to report the batched-vs-serial wall-clock speedup and to
+// assert the two search traces are bit-identical. Results are emitted as
+// BENCH_fig11_tuning_curve.json for trajectory tracking.
 #include "bench_util.hpp"
 
+#include "convbound/tune/batch_measure.hpp"
 #include "convbound/tune/tuners.hpp"
+#include "convbound/util/timer.hpp"
 
 namespace convbound::bench {
 namespace {
 
-constexpr int kBudget = 96;
-const std::vector<int> kCheckpoints = {8, 16, 24, 32, 48, 64, 80, 96};
+constexpr int kBudget = 200;
+const std::vector<int> kCheckpoints = {8, 16, 32, 64, 96, 128, 160, 200};
 
 ConvShape conv1() { return make_shape(1, 3, 227, 96, 11, 4, 0); }
 
@@ -21,15 +29,24 @@ struct Curve {
   std::string name;
   std::vector<double> gflops_at_checkpoint;
   int converged_at = 0;
+  double best_gflops = 0;
+  double wall_seconds = 0;
+  double configs_per_second = 0;
 };
 
 std::vector<Curve> g_curves;
 double g_baseline_gflops = 0;
 
-void run_tuner(const std::string& name, Tuner& tuner,
-               const SearchDomain& domain, SimGpu& gpu) {
-  ConvMeasurer measurer(gpu, domain, /*seed=*/7);
-  const TuneResult res = tuner.run(measurer, kBudget);
+struct SerialVsBatched {
+  double serial_wall_s = 0;
+  double batched_wall_s = 0;
+  double speedup = 0;
+  bool histories_identical = false;
+  int workers = 0;
+} g_ate_parallel;
+
+Curve make_curve(const std::string& name, const TuneResult& res,
+                 const Measurer& measurer, double wall_seconds) {
   Curve c;
   c.name = name;
   for (int cp : kCheckpoints) {
@@ -37,7 +54,29 @@ void run_tuner(const std::string& name, Tuner& tuner,
     c.gflops_at_checkpoint.push_back(measurer.gflops(rec.best_seconds));
   }
   c.converged_at = res.trials_to_converge();
-  g_curves.push_back(std::move(c));
+  c.best_gflops = res.best_gflops(measurer);
+  c.wall_seconds = wall_seconds;
+  c.configs_per_second =
+      static_cast<double>(res.history.size()) / wall_seconds;
+  return c;
+}
+
+void run_tuner(const std::string& name, Tuner& tuner,
+               const SearchDomain& domain, const MachineSpec& spec) {
+  BatchMeasurer measurer(spec, domain, /*seed=*/7);
+  WallTimer timer;
+  const TuneResult res = tuner.run(measurer, kBudget);
+  g_curves.push_back(make_curve(name, res, measurer, timer.seconds()));
+}
+
+bool same_history(const TuneResult& a, const TuneResult& b) {
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (!(a.history[i].config == b.history[i].config)) return false;
+    if (a.history[i].seconds != b.history[i].seconds) return false;
+    if (a.history[i].best_seconds != b.history[i].best_seconds) return false;
+  }
+  return a.best_seconds == b.best_seconds;
 }
 
 void register_all() {
@@ -65,10 +104,33 @@ void register_all() {
       SimulatedAnnealingTuner sa(7);
       GeneticTuner ga(7);
       RandomTuner rnd(7);
-      run_tuner("dataflow + auto-tuning engine (ours)", ate, pruned, gpu);
-      run_tuner("simulated annealing (TVM-like)", sa, full, gpu);
-      run_tuner("genetic algorithm (TVM-like)", ga, full, gpu);
-      run_tuner("random search (TVM-like)", rnd, full, gpu);
+      run_tuner("dataflow + auto-tuning engine (ours)", ate, pruned,
+                gpu.spec());
+      run_tuner("simulated annealing (TVM-like)", sa, full, gpu.spec());
+      run_tuner("genetic algorithm (TVM-like)", ga, full, gpu.spec());
+      run_tuner("random search (TVM-like)", rnd, full, gpu.spec());
+
+      // Batched-vs-serial: same seed, same tuner, the two measurement
+      // engines must produce bit-identical traces; only wall-clock differs.
+      {
+        ConvMeasurer serial(gpu, pruned, /*seed=*/7);
+        AteTuner ate_serial(7, ate_params);
+        WallTimer t_serial;
+        const TuneResult res_serial = ate_serial.run(serial, kBudget);
+        g_ate_parallel.serial_wall_s = t_serial.seconds();
+
+        BatchMeasurer batched(gpu.spec(), pruned, /*seed=*/7);
+        AteTuner ate_batched(7, ate_params);
+        WallTimer t_batched;
+        const TuneResult res_batched = ate_batched.run(batched, kBudget);
+        g_ate_parallel.batched_wall_s = t_batched.seconds();
+
+        g_ate_parallel.speedup =
+            g_ate_parallel.serial_wall_s / g_ate_parallel.batched_wall_s;
+        g_ate_parallel.histories_identical =
+            same_history(res_serial, res_batched);
+        g_ate_parallel.workers = batched.workers();
+      }
     }
   })->Iterations(1)->Unit(benchmark::kSecond);
 }
@@ -79,11 +141,13 @@ void print_summary() {
   std::vector<std::string> header = {"method"};
   for (int cp : kCheckpoints) header.push_back("@" + std::to_string(cp));
   header.push_back("converged@");
+  header.push_back("cfg/s");
   Table t(header);
   for (const auto& c : g_curves) {
     std::vector<std::string> row = {c.name};
     for (double g : c.gflops_at_checkpoint) row.push_back(Table::fmt(g, 0));
     row.push_back(std::to_string(c.converged_at));
+    row.push_back(Table::fmt(c.configs_per_second, 1));
     t.add_row(std::move(row));
   }
   t.add_row([&] {
@@ -91,11 +155,45 @@ void print_summary() {
     for (std::size_t i = 0; i < kCheckpoints.size(); ++i)
       row.push_back(Table::fmt(g_baseline_gflops, 0));
     row.push_back("-");
+    row.push_back("-");
     return row;
   }());
   std::printf("%s", t.to_string().c_str());
-  std::printf("\npaper shape to check: ours climbs fastest and ends highest; "
+  std::printf("\nbatched measurement engine: %d workers, %.2fs wall vs "
+              "%.2fs serial (%.2fx), traces identical: %s\n",
+              g_ate_parallel.workers, g_ate_parallel.batched_wall_s,
+              g_ate_parallel.serial_wall_s, g_ate_parallel.speedup,
+              g_ate_parallel.histories_identical ? "yes" : "NO  <-- bug!");
+  std::printf("paper shape to check: ours climbs fastest and ends highest; "
               "all methods eventually beat the baseline.\n");
+
+  std::vector<std::string> methods;
+  for (const auto& c : g_curves) {
+    methods.push_back(JsonObject()
+                          .add("name", c.name)
+                          .add("best_gflops", c.best_gflops)
+                          .add("wall_seconds", c.wall_seconds)
+                          .add("configs_per_second", c.configs_per_second)
+                          .add("converged_at", c.converged_at)
+                          .add("checkpoints", kCheckpoints)
+                          .add("gflops_at_checkpoint", c.gflops_at_checkpoint)
+                          .to_string());
+  }
+  JsonObject out;
+  out.add("bench", "fig11_tuning_curve")
+      .add("budget", kBudget)
+      .add("baseline_gflops", g_baseline_gflops)
+      .add_raw("methods", json_array(methods))
+      .add_raw("ate_parallel_measurement",
+               JsonObject()
+                   .add("workers", g_ate_parallel.workers)
+                   .add("serial_wall_seconds", g_ate_parallel.serial_wall_s)
+                   .add("batched_wall_seconds", g_ate_parallel.batched_wall_s)
+                   .add("speedup", g_ate_parallel.speedup)
+                   .add("histories_identical",
+                        g_ate_parallel.histories_identical)
+                   .to_string());
+  write_bench_json("fig11_tuning_curve", out);
 }
 
 }  // namespace

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(out.domain.size()));
 
   Table t({"trial", "best GFlops", "config found"});
-  ConvMeasurer m(gpu, out.domain);  // for the gflops conversion
+  const double flops = static_cast<double>(s.flops());
   for (const auto& rec : out.result.history) {
     // Print only the trials that improved the incumbent.
     if (rec.seconds > rec.best_seconds) continue;
     t.add_row({Table::fmt_int(rec.trial),
-               Table::fmt(m.gflops(rec.best_seconds), 0),
+               Table::fmt(flops / rec.best_seconds / 1e9, 0),
                rec.config.to_string()});
   }
   std::printf("%s\n", t.to_string().c_str());

@@ -1,7 +1,9 @@
 // A tunable implementation configuration — the paper's Table 1 parameters.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "convbound/tensor/conv_shape.hpp"
@@ -32,6 +34,33 @@ struct ConvConfig {
   }
 
   bool operator==(const ConvConfig&) const = default;
+
+  /// Canonical compact key covering exactly the fields operator== compares,
+  /// in the order the tune-cache file format stores them.
+  std::string key() const {
+    return std::to_string(x) + ' ' + std::to_string(y) + ' ' +
+           std::to_string(z) + ' ' + std::to_string(nxt) + ' ' +
+           std::to_string(nyt) + ' ' + std::to_string(nzt) + ' ' +
+           std::to_string(static_cast<int>(layout)) + ' ' +
+           std::to_string(smem_budget);
+  }
+
+  /// operator==-consistent hash over the same fields.
+  std::size_t hash() const {
+    auto mix = [](std::size_t h, std::uint64_t v) {
+      return h ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull +
+                  (h << 6) + (h >> 2));
+    };
+    std::size_t h = mix(0, static_cast<std::uint64_t>(x));
+    h = mix(h, static_cast<std::uint64_t>(y));
+    h = mix(h, static_cast<std::uint64_t>(z));
+    h = mix(h, static_cast<std::uint64_t>(nxt));
+    h = mix(h, static_cast<std::uint64_t>(nyt));
+    h = mix(h, static_cast<std::uint64_t>(nzt));
+    h = mix(h, static_cast<std::uint64_t>(layout));
+    h = mix(h, static_cast<std::uint64_t>(smem_budget));
+    return h;
+  }
 };
 
 /// Shared-memory footprint (bytes) of the direct tiled dataflow for `cfg`
@@ -46,3 +75,10 @@ std::int64_t winograd_fused_smem_bytes(const ConvShape& s, std::int64_t e,
                                        const ConvConfig& cfg);
 
 }  // namespace convbound
+
+template <>
+struct std::hash<convbound::ConvConfig> {
+  std::size_t operator()(const convbound::ConvConfig& c) const noexcept {
+    return c.hash();
+  }
+};

@@ -156,15 +156,32 @@ class BlockContext {
   std::uint64_t flops_ = 0;
 };
 
+/// How SimGpu::launch distributes blocks over host resources. The counted
+/// traffic and the modelled time are identical in both modes — the knob only
+/// decides which host threads do the arithmetic.
+enum class ExecMode {
+  /// Blocks striped across the thread pool (one worker per SM). Default;
+  /// right for measuring a single kernel as fast as possible.
+  kStriped,
+  /// All blocks drained on the calling thread. Used by the batched tuning
+  /// pipeline, where parallelism lives at the candidate level and a striped
+  /// launch would oversubscribe the cores.
+  kSerial,
+};
+
 /// Grid launcher: executes `kernel` once per block, in parallel across the
 /// pool, and aggregates counters + modelled time into LaunchStats.
 class SimGpu {
  public:
-  explicit SimGpu(MachineSpec spec, ThreadPool* pool = nullptr)
+  explicit SimGpu(MachineSpec spec, ThreadPool* pool = nullptr,
+                  ExecMode mode = ExecMode::kStriped)
       : spec_(std::move(spec)),
-        pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+        pool_(pool != nullptr ? pool : &ThreadPool::global()),
+        mode_(mode) {}
 
   const MachineSpec& spec() const { return spec_; }
+  ExecMode exec_mode() const { return mode_; }
+  ThreadPool* pool() const { return pool_; }
 
   using Kernel = std::function<void(BlockContext&)>;
 
@@ -175,6 +192,7 @@ class SimGpu {
  private:
   MachineSpec spec_;
   ThreadPool* pool_;
+  ExecMode mode_;
 };
 
 }  // namespace convbound

@@ -10,10 +10,33 @@ LaunchStats SimGpu::launch(const LaunchConfig& cfg, const Kernel& kernel) {
                "requested S_b=" << cfg.smem_bytes_per_block
                                 << " B > S_sm=" << spec_.shared_mem_per_sm);
 
-  const std::size_t nw = pool_->num_threads();
   struct StripeCounters {
     std::uint64_t loaded = 0, stored = 0, flops = 0;
   };
+
+  if (mode_ == ExecMode::kSerial) {
+    // Drain every block on the calling thread. Counter totals (and therefore
+    // the modelled time) are bit-identical to the striped path because they
+    // are exact integer sums, independent of which thread ran which block.
+    SharedMemory smem(static_cast<std::size_t>(
+        cfg.smem_bytes_per_block > 0 ? cfg.smem_bytes_per_block
+                                     : spec_.shared_mem_per_sm));
+    LaunchStats stats;
+    for (std::int64_t b = 0; b < cfg.num_blocks; ++b) {
+      smem.reset();
+      BlockContext ctx(b, smem);
+      kernel(ctx);
+      stats.bytes_loaded += ctx.bytes_loaded();
+      stats.bytes_stored += ctx.bytes_stored();
+      stats.flops += ctx.flops();
+    }
+    stats.num_blocks = static_cast<std::uint64_t>(cfg.num_blocks);
+    stats.num_launches = 1;
+    stats.sim_time = model_time(spec_, cfg, stats.bytes_total(), stats.flops);
+    return stats;
+  }
+
+  const std::size_t nw = pool_->num_threads();
   std::vector<StripeCounters> counters(nw);
   std::vector<std::future<void>> futs;
   futs.reserve(nw);

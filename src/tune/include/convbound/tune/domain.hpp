@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,13 @@ class SearchDomain {
   const std::vector<std::int64_t>& zs() const { return zs_; }
   const std::vector<std::int64_t>& smem_choices() const { return smems_; }
 
+  /// Memoised thread-split candidates for a tile size of this domain
+  /// (divisors capped at the per-dimension thread limit). Empty for tile
+  /// sizes outside the domain's lattice — such configurations fail
+  /// contains() anyway. Built once; sample()/neighbors() are measured
+  /// hot paths and must not recompute divisor tables per call.
+  const std::vector<std::int64_t>& thread_splits(std::int64_t tile) const;
+
  private:
   bool tile_ok(std::int64_t x, std::int64_t y, std::int64_t z,
                std::int64_t smem) const;
@@ -64,8 +72,9 @@ class SearchDomain {
   ConvShape shape_;
   MachineSpec spec_;
   DomainOptions opts_;
-  std::vector<std::int64_t> xs_, ys_, zs_;  // candidate tile sizes
-  std::vector<std::int64_t> smems_;         // candidate S_b (bytes)
+  std::vector<std::int64_t> xs_, ys_, zs_;  // candidate tile sizes (ascending)
+  std::vector<std::int64_t> smems_;         // candidate S_b (bytes, descending)
+  std::map<std::int64_t, std::vector<std::int64_t>> thread_splits_;
   std::uint64_t size_ = 0;
 };
 

@@ -6,6 +6,12 @@
 // parallel random walks over the optimality-condition-pruned domain
 // (Section 6.2-6.3). All tuners share one measurement oracle; "iterations"
 // counts hardware (simulator) trials, the paper's cost unit.
+//
+// Every tuner follows the propose -> measure-batch -> learn loop: proposals
+// are generated serially from the tuner's RNG and recorded in proposal
+// order, while the Measurer is free to evaluate the batch concurrently. The
+// search trace is therefore a pure function of the seed — bit-identical
+// whether batches run on one worker or many.
 #pragma once
 
 #include <memory>
@@ -29,7 +35,7 @@ struct TuneResult {
   double best_seconds = std::numeric_limits<double>::infinity();
   std::vector<TuneRecord> history;
 
-  double best_gflops(const ConvMeasurer& m) const {
+  double best_gflops(const Measurer& m) const {
     return m.gflops(best_seconds);
   }
   /// First trial index that reached within `slack` of the final best.
@@ -41,43 +47,53 @@ class Tuner {
   virtual ~Tuner() = default;
   virtual std::string name() const = 0;
   /// Runs `budget` measurements and returns the search trace.
-  virtual TuneResult run(ConvMeasurer& measurer, int budget) = 0;
+  virtual TuneResult run(Measurer& measurer, int budget) = 0;
 };
 
-/// Uniform random sampling of the domain (TVM "random" baseline).
+/// Uniform random sampling of the domain (TVM "random" baseline), proposed
+/// in fixed-size batches. The trace is identical for any batch size because
+/// samples are independent draws from one RNG stream.
 class RandomTuner : public Tuner {
  public:
-  explicit RandomTuner(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit RandomTuner(std::uint64_t seed = 1, int batch = 16)
+      : rng_(seed), batch_(batch) {}
   std::string name() const override { return "random"; }
-  TuneResult run(ConvMeasurer& measurer, int budget) override;
+  TuneResult run(Measurer& measurer, int budget) override;
 
  private:
   Rng rng_;
+  int batch_;
 };
 
-/// Metropolis walk over lattice neighbours with geometric cooling
-/// (TVM "simulated annealing" baseline).
+/// Metropolis walk over lattice neighbours with geometric cooling (TVM
+/// "simulated annealing" baseline), restructured as `chains` independent
+/// restart chains. Each round every chain proposes one neighbour; the batch
+/// is measured together and each chain then applies its own accept rule.
 class SimulatedAnnealingTuner : public Tuner {
  public:
   explicit SimulatedAnnealingTuner(std::uint64_t seed = 1, double t0 = 1.0,
-                                   double cooling = 0.98)
-      : rng_(seed), t0_(t0), cooling_(cooling) {}
+                                   double cooling = 0.98, int chains = 4)
+      : rng_(seed), t0_(t0), cooling_(cooling), chains_(chains) {}
   std::string name() const override { return "simulated-annealing"; }
-  TuneResult run(ConvMeasurer& measurer, int budget) override;
+  TuneResult run(Measurer& measurer, int budget) override;
 
  private:
   Rng rng_;
   double t0_, cooling_;
+  int chains_;
 };
 
-/// Tournament-selection genetic algorithm (TVM "GA" baseline).
+/// Tournament-selection genetic algorithm (TVM "GA" baseline), generational:
+/// each generation breeds `population` children from the current pool, the
+/// whole generation is measured as one batch, and (mu + lambda) elitism
+/// forms the next pool.
 class GeneticTuner : public Tuner {
  public:
   explicit GeneticTuner(std::uint64_t seed = 1, int population = 16,
                         double mutation_rate = 0.3)
       : rng_(seed), population_(population), mutation_rate_(mutation_rate) {}
   std::string name() const override { return "genetic"; }
-  TuneResult run(ConvMeasurer& measurer, int budget) override;
+  TuneResult run(Measurer& measurer, int budget) override;
 
  private:
   Rng rng_;
@@ -88,11 +104,11 @@ class GeneticTuner : public Tuner {
 /// The paper's auto-tuning engine: (1) train the GBT cost model on all
 /// measurements so far, (2) run n_s parallel random walks that only accept
 /// moves with lower *predicted* cost (epsilon-greedy), (3) measure the n_s
-/// most promising unmeasured endpoints, (4) repeat.
+/// most promising unmeasured endpoints as one batch, (4) repeat.
 class AteTuner : public Tuner {
  public:
   struct Params {
-    int ns = 8;              ///< parallel walks per round
+    int ns = 8;              ///< parallel walks (= measurement batch) per round
     int walk_steps = 24;     ///< lattice steps per walk
     int warmup = 16;         ///< random measurements before the model kicks in
     double epsilon = 0.1;    ///< exploration probability per step
@@ -105,7 +121,7 @@ class AteTuner : public Tuner {
   AteTuner(std::uint64_t seed, const Params& params)
       : rng_(seed), params_(params) {}
   std::string name() const override { return "ate(ours)"; }
-  TuneResult run(ConvMeasurer& measurer, int budget) override;
+  TuneResult run(Measurer& measurer, int budget) override;
 
  private:
   Rng rng_;

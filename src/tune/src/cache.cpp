@@ -36,10 +36,8 @@ std::optional<TuneCache::Entry> TuneCache::get(const std::string& key) const {
 std::string TuneCache::serialize() const {
   std::ostringstream os;
   for (const auto& [key, e] : entries_) {
-    os << key << '|' << e.config.x << ' ' << e.config.y << ' ' << e.config.z
-       << ' ' << e.config.nxt << ' ' << e.config.nyt << ' ' << e.config.nzt
-       << ' ' << static_cast<int>(e.config.layout) << ' '
-       << e.config.smem_budget << '|' << e.gflops << '\n';
+    // ConvConfig::key() is the canonical field order the parser below reads.
+    os << key << '|' << e.config.key() << '|' << e.gflops << '\n';
   }
   return os.str();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "convbound/bounds/conv_bounds.hpp"
 #include "convbound/util/math.hpp"
@@ -34,6 +35,13 @@ std::vector<std::int64_t> thread_candidates(std::int64_t tile) {
 }
 
 }  // namespace
+
+const std::vector<std::int64_t>& SearchDomain::thread_splits(
+    std::int64_t tile) const {
+  static const std::vector<std::int64_t> kEmpty;
+  const auto it = thread_splits_.find(tile);
+  return it == thread_splits_.end() ? kEmpty : it->second;
+}
 
 std::int64_t SearchDomain::footprint_bytes(std::int64_t x, std::int64_t y,
                                            std::int64_t z) const {
@@ -76,14 +84,23 @@ SearchDomain SearchDomain::build(const ConvShape& shape,
   for (std::int64_t sb = spec.shared_mem_per_sm / 2; sb >= 2048; sb /= 2)
     d.smems_.push_back(sb);
 
+  // Memoise the divisor tables once: sample() and neighbors() are called on
+  // every tuning trial and must not recompute them.
+  for (const auto* dims : {&d.xs_, &d.ys_, &d.zs_}) {
+    for (std::int64_t tile : *dims) {
+      if (!d.thread_splits_.count(tile))
+        d.thread_splits_[tile] = thread_candidates(tile);
+    }
+  }
+
   // Exact size: sum over the lattice of valid thread-split counts.
   std::uint64_t size = 0;
   for (std::int64_t x : d.xs_) {
-    const auto tx = thread_candidates(x);
+    const auto& tx = d.thread_splits(x);
     for (std::int64_t y : d.ys_) {
-      const auto ty = thread_candidates(y);
+      const auto& ty = d.thread_splits(y);
       for (std::int64_t z : d.zs_) {
-        const auto tz = thread_candidates(z);
+        const auto& tz = d.thread_splits(z);
         for (std::int64_t sb : d.smems_) {
           if (!d.tile_ok(x, y, z, sb)) continue;
           std::uint64_t splits = 0;
@@ -101,11 +118,12 @@ SearchDomain SearchDomain::build(const ConvShape& shape,
 }
 
 bool SearchDomain::contains(const ConvConfig& cfg) const {
-  if (std::find(xs_.begin(), xs_.end(), cfg.x) == xs_.end()) return false;
-  if (std::find(ys_.begin(), ys_.end(), cfg.y) == ys_.end()) return false;
-  if (std::find(zs_.begin(), zs_.end(), cfg.z) == zs_.end()) return false;
-  if (std::find(smems_.begin(), smems_.end(), cfg.smem_budget) ==
-      smems_.end())
+  // xs_/ys_/zs_ are ascending, smems_ descending; binary search both ways.
+  if (!std::binary_search(xs_.begin(), xs_.end(), cfg.x)) return false;
+  if (!std::binary_search(ys_.begin(), ys_.end(), cfg.y)) return false;
+  if (!std::binary_search(zs_.begin(), zs_.end(), cfg.z)) return false;
+  if (!std::binary_search(smems_.begin(), smems_.end(), cfg.smem_budget,
+                          std::greater<std::int64_t>()))
     return false;
   if (cfg.x % cfg.nxt != 0 || cfg.y % cfg.nyt != 0 || cfg.z % cfg.nzt != 0)
     return false;
@@ -124,9 +142,9 @@ ConvConfig SearchDomain::sample(Rng& rng) const {
     cfg.y = ys_[rng.below(ys_.size())];
     cfg.z = zs_[rng.below(zs_.size())];
     cfg.smem_budget = smems_[rng.below(smems_.size())];
-    const auto tx = thread_candidates(cfg.x);
-    const auto ty = thread_candidates(cfg.y);
-    const auto tz = thread_candidates(cfg.z);
+    const auto& tx = thread_splits(cfg.x);
+    const auto& ty = thread_splits(cfg.y);
+    const auto& tz = thread_splits(cfg.z);
     cfg.nxt = static_cast<int>(tx[rng.below(tx.size())]);
     cfg.nyt = static_cast<int>(ty[rng.below(ty.size())]);
     cfg.nzt = static_cast<int>(tz[rng.below(tz.size())]);
@@ -177,7 +195,7 @@ std::vector<ConvConfig> SearchDomain::neighbors(const ConvConfig& cfg) const {
 
   // Thread-split moves.
   auto thread_moves = [&](int ConvConfig::* field, std::int64_t tile) {
-    const auto cand = thread_candidates(tile);
+    const auto& cand = thread_splits(tile);
     const auto it = std::find(cand.begin(), cand.end(),
                               static_cast<std::int64_t>(cfg.*field));
     if (it == cand.end()) return;

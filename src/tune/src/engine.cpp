@@ -1,5 +1,7 @@
 #include "convbound/tune/engine.hpp"
 
+#include "convbound/tune/batch_measure.hpp"
+
 namespace convbound {
 
 AutotuneOutcome autotune_conv(SimGpu& gpu, const ConvShape& shape,
@@ -10,7 +12,12 @@ AutotuneOutcome autotune_conv(SimGpu& gpu, const ConvShape& shape,
   dopts.e = opts.e;
   SearchDomain domain = SearchDomain::build(shape, gpu.spec(), dopts);
 
-  ConvMeasurer measurer(gpu, domain, opts.seed);
+  // Batched evaluation pipeline: per-worker serial-mode machine replicas
+  // measure whole proposal batches concurrently on the caller's pool (so a
+  // bounded SimGpu pool still caps CPU use). Traces are identical to the
+  // serial ConvMeasurer path for the same seed.
+  BatchMeasurer measurer(gpu.spec(), domain, opts.seed, opts.workers,
+                         gpu.pool());
   AteTuner::Params params = opts.ate;
   // Seed the engine with the analytic dataflow default (Section 5's
   // optimality-condition configuration) — the template manager's knowledge.

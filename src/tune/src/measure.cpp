@@ -4,35 +4,33 @@
 
 namespace convbound {
 
-ConvMeasurer::ConvMeasurer(SimGpu& gpu, const SearchDomain& domain,
-                           std::uint64_t seed)
-    : gpu_(gpu), domain_(domain),
-      weights_(domain.shape().cout, domain.shape().cin_per_group(),
-               domain.shape().kh,
-               domain.shape().kw),
-      out_(domain.shape().batch, domain.shape().cout, domain.shape().hout(),
-           domain.shape().wout()) {
-  const ConvShape& s = domain_.shape();
+std::shared_ptr<const MeasureInputs> MeasureInputs::create(
+    const SearchDomain& domain, std::uint64_t seed) {
+  const ConvShape& s = domain.shape();
+  auto mi = std::make_shared<MeasureInputs>();
+  mi->weights = Tensor4<float>(s.cout, s.cin_per_group(), s.kh, s.kw);
   Rng rng(seed);
   Tensor4<float> base(s.batch, s.cin, s.hin, s.win);
   base.fill_random(rng);
-  weights_.fill_random(rng);
-  inputs_.reserve(kAllLayouts.size());
-  for (Layout l : kAllLayouts) inputs_.push_back(base.to_layout(l));
+  mi->weights.fill_random(rng);
+  mi->inputs.reserve(kAllLayouts.size());
+  for (Layout l : kAllLayouts) mi->inputs.push_back(base.to_layout(l));
+  return mi;
 }
 
-Measurement ConvMeasurer::measure(const ConvConfig& cfg) {
+Measurement measure_config(SimGpu& gpu, const SearchDomain& domain,
+                           const MeasureInputs& inputs, Tensor4<float>& out,
+                           const ConvConfig& cfg) {
   Measurement m;
-  const ConvShape& s = domain_.shape();
+  const ConvShape& s = domain.shape();
   const Tensor4<float>& input =
-      inputs_[static_cast<std::size_t>(cfg.layout)];
-  ++trials_;
+      inputs.inputs[static_cast<std::size_t>(cfg.layout)];
   try {
-    if (domain_.options().winograd) {
-      m.stats = winograd_fused_sim(gpu_, input, weights_, s,
-                                   domain_.options().e, cfg, out_);
+    if (domain.options().winograd) {
+      m.stats = winograd_fused_sim(gpu, input, inputs.weights, s,
+                                   domain.options().e, cfg, out);
     } else {
-      m.stats = direct_tiled_sim(gpu_, input, weights_, s, cfg, out_);
+      m.stats = direct_tiled_sim(gpu, input, inputs.weights, s, cfg, out);
     }
     m.seconds = m.stats.sim_time;
     m.valid = true;
@@ -43,8 +41,28 @@ Measurement ConvMeasurer::measure(const ConvConfig& cfg) {
   return m;
 }
 
-double ConvMeasurer::gflops(double seconds) const {
-  return static_cast<double>(domain_.shape().flops()) / seconds / 1e9;
+Measurement Measurer::measure(const ConvConfig& cfg) {
+  return measure_batch({cfg}).front();
+}
+
+ConvMeasurer::ConvMeasurer(SimGpu& gpu, const SearchDomain& domain,
+                           std::uint64_t seed)
+    : gpu_(gpu), domain_(domain),
+      inputs_(MeasureInputs::create(domain, seed)),
+      out_(domain.shape().batch, domain.shape().cout, domain.shape().hout(),
+           domain.shape().wout()) {}
+
+Measurement ConvMeasurer::measure(const ConvConfig& cfg) {
+  ++trials_;
+  return measure_config(gpu_, domain_, *inputs_, out_, cfg);
+}
+
+std::vector<Measurement> ConvMeasurer::measure_batch(
+    const std::vector<ConvConfig>& cfgs) {
+  std::vector<Measurement> out;
+  out.reserve(cfgs.size());
+  for (const ConvConfig& cfg : cfgs) out.push_back(measure(cfg));
+  return out;
 }
 
 }  // namespace convbound

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <unordered_set>
 
 #include "convbound/tune/features.hpp"
 
@@ -24,13 +24,19 @@ void record(TuneResult& res, const ConvConfig& cfg, const Measurement& m) {
   res.history.push_back(rec);
 }
 
-/// Key for "have we measured this config already".
-std::string config_key(const ConvConfig& c) {
-  return std::to_string(c.x) + "," + std::to_string(c.y) + "," +
-         std::to_string(c.z) + "," + std::to_string(c.nxt) + "," +
-         std::to_string(c.nyt) + "," + std::to_string(c.nzt) + "," +
-         std::to_string(static_cast<int>(c.layout)) + "," +
-         std::to_string(c.smem_budget);
+/// Trims `batch` to the remaining budget, measures it (concurrently, if the
+/// measurer supports it) and records the results in proposal order. Returns
+/// the measurements of the measured prefix.
+std::vector<Measurement> measure_and_record(TuneResult& res, Measurer& measurer,
+                                            std::vector<ConvConfig> batch,
+                                            int budget) {
+  const int remaining = budget - static_cast<int>(res.history.size());
+  if (remaining <= 0) return {};
+  if (static_cast<int>(batch.size()) > remaining)
+    batch.resize(static_cast<std::size_t>(remaining));
+  std::vector<Measurement> ms = measurer.measure_batch(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) record(res, batch[i], ms[i]);
+  return ms;
 }
 
 }  // namespace
@@ -43,46 +49,78 @@ int TuneResult::trials_to_converge(double slack) const {
   return history.empty() ? 0 : history.back().trial;
 }
 
-TuneResult RandomTuner::run(ConvMeasurer& measurer, int budget) {
+TuneResult RandomTuner::run(Measurer& measurer, int budget) {
   TuneResult res;
-  for (int i = 0; i < budget; ++i) {
-    const ConvConfig cfg = measurer.domain().sample(rng_);
-    record(res, cfg, measurer.measure(cfg));
+  const SearchDomain& domain = measurer.domain();
+  while (static_cast<int>(res.history.size()) < budget) {
+    const int n = std::min(std::max(1, batch_),
+                           budget - static_cast<int>(res.history.size()));
+    std::vector<ConvConfig> batch;
+    batch.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) batch.push_back(domain.sample(rng_));
+    measure_and_record(res, measurer, std::move(batch), budget);
   }
   return res;
 }
 
-TuneResult SimulatedAnnealingTuner::run(ConvMeasurer& measurer, int budget) {
+TuneResult SimulatedAnnealingTuner::run(Measurer& measurer, int budget) {
   TuneResult res;
   const SearchDomain& domain = measurer.domain();
-  ConvConfig cur = domain.sample(rng_);
-  Measurement cm = measurer.measure(cur);
-  record(res, cur, cm);
-  double temp = t0_;
-  // Energy scale: relative runtime differences.
-  for (int i = 1; i < budget; ++i) {
-    auto moves = domain.neighbors(cur);
-    ConvConfig cand =
-        moves.empty() ? domain.sample(rng_) : moves[rng_.below(moves.size())];
-    const Measurement nm = measurer.measure(cand);
-    record(res, cand, nm);
-    bool accept = false;
-    if (nm.valid && (!cm.valid || nm.seconds <= cm.seconds)) {
-      accept = true;
-    } else if (nm.valid && cm.valid) {
-      const double delta = (nm.seconds - cm.seconds) / cm.seconds;
-      accept = rng_.uniform() < std::exp(-delta / std::max(1e-6, temp));
+
+  struct Chain {
+    Rng rng;
+    ConvConfig cur;
+    Measurement cm;
+  };
+  // Independent per-chain RNG streams derived deterministically from the
+  // tuner seed; chain count never depends on the measurer's worker count.
+  const int nchains = std::max(1, std::min(chains_, budget));
+  std::vector<Chain> chains;
+  chains.reserve(static_cast<std::size_t>(nchains));
+  for (int c = 0; c < nchains; ++c) chains.push_back({rng_.split(), {}, {}});
+
+  // Round 0: every chain starts from its own random configuration.
+  std::vector<ConvConfig> props;
+  props.reserve(chains.size());
+  for (Chain& ch : chains) props.push_back(domain.sample(ch.rng));
+  {
+    const auto ms = measure_and_record(res, measurer, props, budget);
+    for (std::size_t c = 0; c < ms.size(); ++c) {
+      chains[c].cur = props[c];
+      chains[c].cm = ms[c];
     }
-    if (accept) {
-      cur = cand;
-      cm = nm;
+  }
+
+  double temp = t0_;
+  while (static_cast<int>(res.history.size()) < budget) {
+    props.clear();
+    for (Chain& ch : chains) {
+      const auto moves = domain.neighbors(ch.cur);
+      props.push_back(moves.empty() ? domain.sample(ch.rng)
+                                    : moves[ch.rng.below(moves.size())]);
+    }
+    const auto ms = measure_and_record(res, measurer, props, budget);
+    for (std::size_t c = 0; c < ms.size(); ++c) {
+      Chain& ch = chains[c];
+      const Measurement& nm = ms[c];
+      bool accept = false;
+      if (nm.valid && (!ch.cm.valid || nm.seconds <= ch.cm.seconds)) {
+        accept = true;
+      } else if (nm.valid && ch.cm.valid) {
+        const double delta = (nm.seconds - ch.cm.seconds) / ch.cm.seconds;
+        accept = ch.rng.uniform() < std::exp(-delta / std::max(1e-6, temp));
+      }
+      if (accept) {
+        ch.cur = props[c];
+        ch.cm = nm;
+      }
     }
     temp *= cooling_;
   }
   return res;
 }
 
-TuneResult GeneticTuner::run(ConvMeasurer& measurer, int budget) {
+TuneResult GeneticTuner::run(Measurer& measurer, int budget) {
   TuneResult res;
   const SearchDomain& domain = measurer.domain();
   struct Individual {
@@ -91,11 +129,8 @@ TuneResult GeneticTuner::run(ConvMeasurer& measurer, int budget) {
   };
   std::vector<Individual> pop;
 
-  auto eval = [&](const ConvConfig& cfg) {
-    const Measurement m = measurer.measure(cfg);
-    record(res, cfg, m);
-    return Individual{cfg, m.valid ? -m.seconds
-                                   : -std::numeric_limits<double>::infinity()};
+  auto fitness_of = [](const Measurement& m) {
+    return m.valid ? -m.seconds : -std::numeric_limits<double>::infinity();
   };
   auto tournament = [&]() -> const Individual& {
     const Individual& a = pop[rng_.below(pop.size())];
@@ -112,61 +147,89 @@ TuneResult GeneticTuner::run(ConvMeasurer& measurer, int budget) {
     return c;
   };
 
+  // Initial generation.
   const int init = std::min(population_, budget);
-  for (int i = 0; i < init; ++i) pop.push_back(eval(domain.sample(rng_)));
+  std::vector<ConvConfig> props;
+  props.reserve(static_cast<std::size_t>(init));
+  for (int i = 0; i < init; ++i) props.push_back(domain.sample(rng_));
+  {
+    const auto ms = measure_and_record(res, measurer, props, budget);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+      pop.push_back({props[i], fitness_of(ms[i])});
+  }
 
-  while (static_cast<int>(res.history.size()) < budget) {
-    ConvConfig child = crossover(tournament().cfg, tournament().cfg);
-    if (rng_.uniform() < mutation_rate_) {
-      const auto moves = domain.neighbors(child);
-      if (!moves.empty()) child = moves[rng_.below(moves.size())];
+  while (static_cast<int>(res.history.size()) < budget && !pop.empty()) {
+    // Breed one generation of children from the current pool.
+    const int n = std::min(population_,
+                           budget - static_cast<int>(res.history.size()));
+    props.clear();
+    for (int i = 0; i < n; ++i) {
+      ConvConfig child = crossover(tournament().cfg, tournament().cfg);
+      if (rng_.uniform() < mutation_rate_) {
+        const auto moves = domain.neighbors(child);
+        if (!moves.empty()) child = moves[rng_.below(moves.size())];
+      }
+      if (!domain.contains(child)) child = domain.sample(rng_);
+      props.push_back(child);
     }
-    if (!domain.contains(child)) child = domain.sample(rng_);
-    Individual kid = eval(child);
-    // Steady-state replacement of the worst member.
-    auto worst = std::min_element(
-        pop.begin(), pop.end(),
-        [](const Individual& a, const Individual& b) {
-          return a.fitness < b.fitness;
-        });
-    if (kid.fitness > worst->fitness) *worst = kid;
+    const auto ms = measure_and_record(res, measurer, props, budget);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+      pop.push_back({props[i], fitness_of(ms[i])});
+    // (mu + lambda) elitism; stable so equal-fitness ties keep seniority.
+    std::stable_sort(pop.begin(), pop.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.fitness > b.fitness;
+                     });
+    if (static_cast<int>(pop.size()) > population_)
+      pop.resize(static_cast<std::size_t>(population_));
   }
   return res;
 }
 
-TuneResult AteTuner::run(ConvMeasurer& measurer, int budget) {
+TuneResult AteTuner::run(Measurer& measurer, int budget) {
   TuneResult res;
   const SearchDomain& domain = measurer.domain();
 
   std::vector<std::vector<double>> X;
   std::vector<double> y;  // log runtime (log compresses the dynamic range)
-  std::set<std::string> seen;
+  std::unordered_set<ConvConfig> seen;
   Gbt model;
 
-  auto measure_and_learn = [&](const ConvConfig& cfg) {
-    const Measurement m = measurer.measure(cfg);
-    record(res, cfg, m);
-    seen.insert(config_key(cfg));
-    if (m.valid) {
-      X.push_back(config_features(domain, cfg));
-      y.push_back(std::log(m.seconds));
+  // Measures a proposal batch and feeds every valid result to the model's
+  // training set; returns how many candidates were actually measured.
+  auto measure_and_learn = [&](std::vector<ConvConfig> batch) {
+    const auto ms = measure_and_record(res, measurer, batch, budget);
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      seen.insert(batch[i]);
+      if (ms[i].valid) {
+        X.push_back(config_features(domain, batch[i]));
+        y.push_back(std::log(ms[i].seconds));
+      }
     }
-    return m;
+    return ms.size();
   };
 
   // Template-provided seeds first (snapped into the domain's S_b lattice),
   // then random warm-up (the paper's "n_s random configurations are chosen
   // as initial guesses").
-  for (ConvConfig seed : params_.seeds) {
-    if (static_cast<int>(res.history.size()) >= budget) break;
-    if (seed.smem_budget == 0 && !domain.smem_choices().empty()) {
-      seed.smem_budget = domain.smem_choices().front();
+  {
+    std::vector<ConvConfig> batch;
+    std::unordered_set<ConvConfig> pending;
+    for (ConvConfig seed : params_.seeds) {
+      if (seed.smem_budget == 0 && !domain.smem_choices().empty()) {
+        seed.smem_budget = domain.smem_choices().front();
+      }
+      if (pending.insert(seed).second) batch.push_back(seed);
     }
-    if (!seen.count(config_key(seed))) measure_and_learn(seed);
+    measure_and_learn(std::move(batch));
   }
   const int warm = std::min(params_.warmup, budget);
-  while (static_cast<int>(res.history.size()) < warm)
-    measure_and_learn(domain.sample(rng_));
+  if (static_cast<int>(res.history.size()) < warm) {
+    std::vector<ConvConfig> batch;
+    const int n = warm - static_cast<int>(res.history.size());
+    for (int i = 0; i < n; ++i) batch.push_back(domain.sample(rng_));
+    measure_and_learn(std::move(batch));
+  }
 
   while (static_cast<int>(res.history.size()) < budget) {
     if (X.size() >= 4) model.fit(X, y, params_.gbt);
@@ -177,7 +240,8 @@ TuneResult AteTuner::run(ConvMeasurer& measurer, int budget) {
     };
 
     // n_s parallel random walks, each converging toward lower predicted
-    // cost (epsilon-greedy downhill walk on the lattice).
+    // cost (epsilon-greedy downhill walk on the lattice). Proposals come
+    // from the single tuner RNG, in a fixed order.
     std::vector<std::pair<double, ConvConfig>> candidates;
     for (int w = 0; w < params_.ns; ++w) {
       ConvConfig cur = res.best_seconds < 1e30 && rng_.uniform() < 0.5
@@ -196,21 +260,24 @@ TuneResult AteTuner::run(ConvMeasurer& measurer, int budget) {
       }
       candidates.emplace_back(cur_cost, cur);
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
 
-    // Measure the most promising unseen endpoints.
-    int measured_this_round = 0;
+    // Measure the most promising unseen endpoints as one batch.
+    std::vector<ConvConfig> batch;
+    std::unordered_set<ConvConfig> pending;
     for (const auto& [cost, cfg] : candidates) {
-      if (static_cast<int>(res.history.size()) >= budget) break;
-      if (seen.count(config_key(cfg))) continue;
-      measure_and_learn(cfg);
-      ++measured_this_round;
+      if (seen.count(cfg) || !pending.insert(cfg).second) continue;
+      batch.push_back(cfg);
     }
+    const std::size_t measured_this_round =
+        measure_and_learn(std::move(batch));
     // All walks landed on known configs: inject fresh randomness.
     if (measured_this_round == 0 &&
         static_cast<int>(res.history.size()) < budget) {
-      measure_and_learn(domain.sample(rng_));
+      measure_and_learn({domain.sample(rng_)});
     }
   }
   return res;

@@ -61,7 +61,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();  // propagate exceptions
+  // Drain every chunk before rethrowing: chunk tasks reference `fn`, so an
+  // early rethrow while siblings are still queued or running would leave
+  // them calling through a dangling reference.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -114,6 +114,49 @@ TEST(ThreadPool, SubmitReturnsValue) {
   EXPECT_EQ(fut.get(), 42);
 }
 
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 57) throw Error("boom at 57");
+                        }),
+      Error);
+  // The pool must stay usable after a throwing parallel_for.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForStress) {
+  // Many back-to-back parallel_for rounds, each touching every index exactly
+  // once — the shape of the batched tuning loop (propose/measure/learn).
+  ThreadPool pool(8);
+  const std::size_t n = 512;
+  std::vector<int> hits(n);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, n, [&](std::size_t i) { ++hits[i]; });
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 50) << i;
+}
+
+TEST(ThreadPool, SubmitFromParallelForBody) {
+  // A parallel_for body may enqueue more work (enqueueing never blocks);
+  // the futures are claimed after the loop so a saturated pool cannot
+  // deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::mutex mu;
+  std::vector<std::future<void>> futs;
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    auto f = pool.submit([&] { ++total; });
+    std::lock_guard<std::mutex> lock(mu);
+    futs.push_back(std::move(f));
+  });
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(total.load(), 8);
+}
+
 TEST(ThreadPool, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

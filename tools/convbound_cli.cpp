@@ -6,7 +6,10 @@
 //   run    --cin N --in N --cout N [...] [--machine NAME] [--algo NAME]
 //       Execute one convolution on the simulated machine and report stats.
 //   tune   --cin N --in N --cout N [...] [--budget N] [--cache FILE]
-//       Auto-tune the dataflow; optionally persist the result to a cache.
+//          [--workers N]
+//       Auto-tune the dataflow with the batched parallel measurement
+//       engine (--workers 0 = one per hardware thread); optionally
+//       persist the result to a cache.
 //   models [--machine NAME]
 //       Compare baseline vs our dataflows across the CNN model zoo.
 //
@@ -150,6 +153,7 @@ int cmd_tune(const Args& a) {
   opts.budget = static_cast<int>(a.geti("budget", 64));
   opts.winograd = a.geti("winograd", 0) != 0;
   opts.seed = static_cast<std::uint64_t>(a.geti("seed", 1));
+  opts.workers = static_cast<int>(a.geti("workers", 0));
 
   const std::string cache_path = a.gets("cache", "");
   const std::string key =
