@@ -6,6 +6,13 @@
 // convolution at mu in {1, 2, 4} and for Winograd.
 // Scaled grid here: H_in in {14, 28, 56, 112}, C_out in {32, 64, 128, 256},
 // C_in = 64 (see EXPERIMENTS.md); the comparison structure is identical.
+//
+// Every point goes through the plan layer: the Planner emits per-algorithm
+// plans (the baseline's best-of-direct resolution included) and a shared
+// Workspace/Executor runs them, so the bench exercises the same planning
+// path as the API and model inference, and the output arena is reused
+// across the whole grid. e is pinned to 2 to match the paper's
+// F(2x2, 3x3) Winograd panels.
 #include "bench_util.hpp"
 
 namespace convbound::bench {
@@ -14,6 +21,22 @@ namespace {
 const std::vector<std::int64_t> kHin = {14, 28, 56, 112};
 const std::vector<std::int64_t> kCout = {32, 64, 128, 256};
 constexpr std::int64_t kCin = 64;
+
+ConvExecutor& executor() {
+  static Workspace ws;
+  static ConvExecutor exec(ws);
+  return exec;
+}
+
+LaunchStats run_point(const ConvShape& s, ConvAlgorithm algo) {
+  SimGpu gpu(MachineSpec::gtx1080ti());
+  Planner planner;  // plan_algorithm is not memoised; nothing to share
+  PlannerOptions opts;
+  opts.force_e = 2;  // the paper's F(2x2, 3x3) panels
+  const ConvPlan plan = planner.plan_algorithm(gpu, s, algo, opts);
+  const ConvProblem p = make_problem(s, 1);
+  return executor().execute(gpu, plan, p.input, p.weights).stats;
+}
 
 std::string key(const char* panel, std::int64_t hin, std::int64_t cout,
                 const char* impl) {
@@ -27,18 +50,10 @@ void register_direct_panel(std::int64_t mu) {
     for (std::int64_t hin : kHin) {
       const ConvShape s = make_shape(1, kCin, hin, cout, 3, mu, 1);
       register_point(key(panel.c_str(), hin, cout, "ours"), [s] {
-        SimGpu gpu(MachineSpec::gtx1080ti());
-        const ConvProblem p = make_problem(s, 1);
-        Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
-        const ConvConfig cfg = default_tiled_config(s, gpu.spec());
-        return direct_tiled_sim(gpu, p.input, p.weights, s, cfg, out);
+        return run_point(s, ConvAlgorithm::kDirectTiled);
       });
       register_point(key(panel.c_str(), hin, cout, "cudnn"), [s] {
-        SimGpu gpu(MachineSpec::gtx1080ti());
-        const ConvProblem p = make_problem(s, 1);
-        return run_conv(gpu, ConvAlgorithm::kCudnnDirect, p.input, p.weights,
-                        s)
-            .stats;
+        return run_point(s, ConvAlgorithm::kCudnnDirect);
       });
     }
   }
@@ -49,17 +64,10 @@ void register_winograd_panel() {
     for (std::int64_t hin : kHin) {
       const ConvShape s = make_shape(1, kCin, hin, cout, 3, 1, 1);
       register_point(key("wino", hin, cout, "ours"), [s] {
-        SimGpu gpu(MachineSpec::gtx1080ti());
-        const ConvProblem p = make_problem(s, 1);
-        Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
-        const ConvConfig cfg = default_winograd_config(s, 2, gpu.spec());
-        return winograd_fused_sim(gpu, p.input, p.weights, s, 2, cfg, out);
+        return run_point(s, ConvAlgorithm::kWinogradFused);
       });
       register_point(key("wino", hin, cout, "cudnn"), [s] {
-        SimGpu gpu(MachineSpec::gtx1080ti());
-        const ConvProblem p = make_problem(s, 1);
-        Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
-        return winograd_phased_sim(gpu, p.input, p.weights, s, 2, out);
+        return run_point(s, ConvAlgorithm::kWinogradPhased);
       });
     }
   }

@@ -1,11 +1,17 @@
-// Figure 12: end-to-end conv inference time of five CNN models, our tuned
+// Figure 12: end-to-end conv inference time of five CNN models, our
 // dataflows vs the cuDNN-like baseline, V100 machine model.
 //
-// Per-layer algorithm selection mirrors both systems: the baseline picks
-// the best of {naive direct, im2col, phased Winograd} per layer; ours picks
-// the better of {tiled direct, fused Winograd} with analytically derived
-// configurations (the tuner's starting point — tuning every layer of five
-// models is left to examples/autotune_layer to keep this bench fast).
+// Both systems select per-layer algorithms through the plan layer: the
+// baseline plans over {naive direct, im2col, phased Winograd}, ours over
+// {tiled direct, fused Winograd} with analytically derived configurations
+// (the tuner's starting point — tuning every layer of five models is left
+// to examples/autotune_layer to keep this bench fast). Each model reuses an
+// InferenceSession, so layers are planned once and executed through the
+// shared workspace arena.
+//
+// Emits BENCH_fig12_cnn_models.json (per-model seconds per strategy +
+// speedup) so the perf trajectory covers end-to-end inference, not just
+// tuning.
 #include "bench_util.hpp"
 
 namespace convbound::bench {
@@ -13,6 +19,7 @@ namespace {
 
 struct ModelRow {
   std::string name;
+  double conv_gflop = 0;
   double base_ms = 0, ours_ms = 0;
 };
 std::vector<ModelRow> g_rows;
@@ -24,12 +31,15 @@ void register_all() {
         [name = name, layers = layers](benchmark::State& st) {
           for (auto _ : st) {
             SimGpu gpu(MachineSpec::v100());
-            const ModelReport base =
-                run_model(gpu, name, layers, ModelStrategy::kBaseline);
-            const ModelReport ours =
-                run_model(gpu, name, layers, ModelStrategy::kOursDefault);
-            g_rows.push_back(
-                {name, base.total_seconds * 1e3, ours.total_seconds * 1e3});
+            InferenceSession session;
+            const ModelReport base = run_model(
+                gpu, name, layers, ModelStrategy::kBaseline, session);
+            const ModelReport ours = run_model(
+                gpu, name, layers, ModelStrategy::kOursDefault, session);
+            g_rows.push_back({name,
+                              static_cast<double>(model_flops(layers)) / 1e9,
+                              base.total_seconds * 1e3,
+                              ours.total_seconds * 1e3});
           }
         })
         ->Iterations(1)
@@ -41,13 +51,36 @@ void print_summary() {
   std::printf("\n=== Figure 12: end-to-end conv inference time (ms), V100 "
               "model ===\n");
   Table t({"model", "cuDNN-like (ms)", "ours (ms)", "speedup"});
+  double product = 1;
   for (const auto& r : g_rows) {
     t.add_row({r.name, Table::fmt(r.base_ms, 2), Table::fmt(r.ours_ms, 2),
                Table::fmt(r.base_ms / r.ours_ms, 2)});
+    product *= r.base_ms / r.ours_ms;
   }
+  const double geomean =
+      g_rows.empty() ? 0.0
+                     : std::pow(product, 1.0 / static_cast<double>(
+                                              g_rows.size()));
   std::printf("%s", t.to_string().c_str());
   std::printf("\npaper reference points: SqueezeNet 2.67x, Vgg-19 1.09x, "
               "ResNet-18 1.02x, ResNet-34 1.09x, Inception-v3 1.23x.\n");
+
+  std::vector<std::string> models;
+  for (const auto& r : g_rows) {
+    models.push_back(JsonObject()
+                         .add("name", r.name)
+                         .add("conv_gflop", r.conv_gflop)
+                         .add("baseline_seconds", r.base_ms * 1e-3)
+                         .add("ours_default_seconds", r.ours_ms * 1e-3)
+                         .add("speedup", r.base_ms / r.ours_ms)
+                         .to_string());
+  }
+  JsonObject out;
+  out.add("bench", "fig12_cnn_models")
+      .add("machine", "v100")
+      .add("geomean_speedup", geomean)
+      .add_raw("models", json_array(models));
+  write_bench_json("fig12_cnn_models", out);
 }
 
 }  // namespace

@@ -21,7 +21,10 @@ enum class ConvAlgorithm {
 
 std::string to_string(ConvAlgorithm algo);
 
-/// True when `algo` can run `s` (Winograd needs square kernels, stride 1).
+/// The centralized capability query: true when `algo` can run `s`. All
+/// eligibility rules live here — Winograd needs a square 2..7 kernel,
+/// stride 1 and groups == 1; im2col needs groups == 1; the direct paths
+/// take anything. Callers (planner, CLI, benches) must not re-derive these.
 bool algorithm_supports(ConvAlgorithm algo, const ConvShape& s);
 
 struct ConvResult {

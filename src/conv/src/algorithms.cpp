@@ -23,12 +23,21 @@ bool algorithm_supports(ConvAlgorithm algo, const ConvShape& s) {
   switch (algo) {
     case ConvAlgorithm::kWinogradFused:
     case ConvAlgorithm::kWinogradPhased:
-      return s.kh == s.kw && s.stride == 1 && s.groups == 1;
+      // Square non-trivial kernel, unit stride, ungrouped (the minimal
+      // filtering identity has no grouped/strided form), and a kernel edge
+      // r for which an F(e >= 2, r) transform exists (e + r - 1 <= 8).
+      return s.kh == s.kw && s.stride == 1 && s.groups == 1 && s.kh >= 2 &&
+             s.kh <= 7;
     case ConvAlgorithm::kIm2col:
+      // The column-matrix layout assumes every output channel reads every
+      // input channel; grouped shapes take the direct paths instead.
       return s.groups == 1;
-    default:
+    case ConvAlgorithm::kDirectTiled:
+    case ConvAlgorithm::kDirectNaive:
+    case ConvAlgorithm::kCudnnDirect:
       return true;
   }
+  return false;
 }
 
 ConvResult run_conv(SimGpu& gpu, ConvAlgorithm algo,

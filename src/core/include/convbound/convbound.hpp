@@ -27,6 +27,10 @@
 #include "convbound/pebble/dag.hpp"
 #include "convbound/pebble/game.hpp"
 #include "convbound/pebble/generators.hpp"
+#include "convbound/plan/conv_plan.hpp"
+#include "convbound/plan/executor.hpp"
+#include "convbound/plan/planner.hpp"
+#include "convbound/plan/workspace.hpp"
 #include "convbound/tensor/conv_shape.hpp"
 #include "convbound/tensor/tensor.hpp"
 #include "convbound/tune/engine.hpp"

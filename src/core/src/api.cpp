@@ -6,16 +6,14 @@ namespace convbound {
 
 ConvResult conv2d(SimGpu& gpu, const Tensor4<float>& input,
                   const Tensor4<float>& weights, const ConvShape& s) {
-  const ConvConfig dc = default_tiled_config(s, gpu.spec());
-  ConvResult direct =
-      run_conv(gpu, ConvAlgorithm::kDirectTiled, input, weights, s, dc);
-  if (!algorithm_supports(ConvAlgorithm::kWinogradFused, s) || s.kh != 3)
-    return direct;
-  const ConvConfig wc = default_winograd_config(s, 2, gpu.spec());
-  ConvResult wino =
-      run_conv(gpu, ConvAlgorithm::kWinogradFused, input, weights, s, wc, 2);
-  return wino.stats.sim_time < direct.stats.sim_time ? std::move(wino)
-                                                     : std::move(direct);
+  // One-shot convenience path: plan (measured, our dataflows) and execute.
+  // Callers with repeated traffic should hold their own Planner/Executor to
+  // amortise planning and reuse the workspace arena.
+  Planner planner;
+  const ConvPlan plan = planner.plan(gpu, s, PlannerOptions{});
+  ConvResult res{Tensor4<float>(s.batch, s.cout, s.hout(), s.wout()), {}};
+  res.stats = run_plan(gpu, plan, input, weights, res.output);
+  return res;
 }
 
 double conv_lower_bound(const ConvShape& s, double S) {

@@ -1,109 +1,74 @@
 #include "convbound/nets/inference.hpp"
 
-#include <algorithm>
-
-#include "convbound/conv/algorithms.hpp"
 #include "convbound/conv/reference.hpp"
-#include "convbound/tune/engine.hpp"
 
 namespace convbound {
 
 namespace {
 
-struct Candidate {
-  std::string name;
-  LaunchStats stats;
-};
-
-Candidate best_of(std::vector<Candidate> cands) {
-  CB_CHECK(!cands.empty());
-  return *std::min_element(cands.begin(), cands.end(),
-                           [](const Candidate& a, const Candidate& b) {
-                             return a.stats.sim_time < b.stats.sim_time;
-                           });
+PlannerOptions options_for(ModelStrategy strategy, int tune_budget,
+                           std::uint64_t seed) {
+  PlannerOptions opts;
+  opts.seed = seed;
+  switch (strategy) {
+    case ModelStrategy::kBaseline:
+      opts.candidates = CandidateSet::kBaseline;
+      opts.mode = PlanMode::kMeasured;
+      break;
+    case ModelStrategy::kOursDefault:
+      opts.candidates = CandidateSet::kOurs;
+      opts.mode = PlanMode::kMeasured;
+      break;
+    case ModelStrategy::kOursTuned:
+      opts.candidates = CandidateSet::kOurs;
+      opts.mode = PlanMode::kTuned;
+      opts.tune_budget = tune_budget;
+      break;
+  }
+  return opts;
 }
 
 }  // namespace
 
 ModelReport run_model(SimGpu& gpu, const std::string& model_name,
                       const std::vector<ConvLayer>& layers,
-                      ModelStrategy strategy, int tune_budget,
-                      std::uint64_t seed) {
+                      ModelStrategy strategy, InferenceSession& session,
+                      int tune_budget, std::uint64_t seed) {
   ModelReport report;
   report.model = model_name;
   report.strategy = strategy;
+  const PlannerOptions opts = options_for(strategy, tune_budget, seed);
 
   for (const auto& layer : layers) {
     const ConvShape& s = layer.shape;
-    ConvProblem p = make_problem(s, seed ^ std::hash<std::string>{}(layer.name));
-    Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
-    const bool wino_ok =
-        algorithm_supports(ConvAlgorithm::kWinogradFused, s) && s.kh == 3;
-    CB_CHECK(s.groups == 1 || !wino_ok);
+    // Plan once per (machine, shape, strategy) — memoised in the session —
+    // then execute through the workspace arena.
+    const ConvPlan plan = session.planner().plan(gpu, s, opts);
+    const ConvProblem p =
+        make_problem(s, seed ^ std::hash<std::string>{}(layer.name));
+    const ConvExecutor::Execution ex =
+        session.executor().execute(gpu, plan, p.input, p.weights);
 
-    std::vector<Candidate> cands;
-    switch (strategy) {
-      case ModelStrategy::kBaseline: {
-        cands.push_back(
-            {"direct-naive", direct_naive_sim(gpu, p.input, p.weights, s, out)});
-        if (s.groups == 1) {
-          cands.push_back(
-              {"im2col", im2col_sim(gpu, p.input, p.weights, s, out)});
-        }
-        if (wino_ok) {
-          cands.push_back({"winograd-phased",
-                           winograd_phased_sim(gpu, p.input, p.weights, s, 2,
-                                               out)});
-        }
-        break;
-      }
-      case ModelStrategy::kOursDefault: {
-        const ConvConfig dc = default_tiled_config(s, gpu.spec());
-        cands.push_back({"direct-tiled",
-                         direct_tiled_sim(gpu, p.input, p.weights, s, dc, out)});
-        if (wino_ok) {
-          const ConvConfig wc = default_winograd_config(s, 2, gpu.spec());
-          cands.push_back({"winograd-fused",
-                           winograd_fused_sim(gpu, p.input, p.weights, s, 2,
-                                              wc, out)});
-        }
-        break;
-      }
-      case ModelStrategy::kOursTuned: {
-        AutotuneOptions opts;
-        opts.budget = tune_budget;
-        opts.seed = seed;
-        AutotuneOutcome direct = autotune_conv(gpu, s, opts);
-        ConvConfig dc = direct.result.best_seconds < 1e30
-                            ? direct.result.best
-                            : default_tiled_config(s, gpu.spec());
-        cands.push_back({"direct-tiled(tuned)",
-                         direct_tiled_sim(gpu, p.input, p.weights, s, dc, out)});
-        if (wino_ok) {
-          opts.winograd = true;
-          AutotuneOutcome wino = autotune_conv(gpu, s, opts);
-          ConvConfig wc = wino.result.best_seconds < 1e30
-                              ? wino.result.best
-                              : default_winograd_config(s, 2, gpu.spec());
-          cands.push_back({"winograd-fused(tuned)",
-                           winograd_fused_sim(gpu, p.input, p.weights, s, 2,
-                                              wc, out)});
-        }
-        break;
-      }
-    }
-
-    const Candidate best = best_of(std::move(cands));
     LayerTiming t;
     t.name = layer.name;
     t.shape = s;
-    t.seconds = best.stats.sim_time;
-    t.algorithm = best.name;
-    t.io_bytes = best.stats.bytes_total();
+    t.seconds = ex.stats.sim_time;
+    t.algorithm = plan.label();
+    t.io_bytes = ex.stats.bytes_total();
+    t.plan = plan;
     report.total_seconds += t.seconds;
     report.layers.push_back(std::move(t));
   }
   return report;
+}
+
+ModelReport run_model(SimGpu& gpu, const std::string& model_name,
+                      const std::vector<ConvLayer>& layers,
+                      ModelStrategy strategy, int tune_budget,
+                      std::uint64_t seed) {
+  InferenceSession session;
+  return run_model(gpu, model_name, layers, strategy, session, tune_budget,
+                   seed);
 }
 
 }  // namespace convbound

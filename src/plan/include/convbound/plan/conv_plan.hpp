@@ -1,0 +1,68 @@
+// The immutable result of planning one convolution: which algorithm, with
+// which configuration, and what the bounds layer predicts for it — the
+// cuDNN-style "find algorithm + workspace, then execute" split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "convbound/conv/algorithms.hpp"
+
+namespace convbound {
+
+/// Everything the executor needs to run one convolution, plus the analytic
+/// quantities that justified the choice. Plans are plain values: cheap to
+/// copy, safe to cache and to record in per-layer reports.
+/// Short human label for a planned algorithm choice: name, Winograd
+/// variant, tuned marker. The one formatter every report/table uses.
+inline std::string plan_label(ConvAlgorithm algo, std::int64_t e,
+                              bool tuned) {
+  std::string out = to_string(algo);
+  if (algo == ConvAlgorithm::kWinogradFused ||
+      algo == ConvAlgorithm::kWinogradPhased)
+    out += " e=" + std::to_string(e);
+  if (tuned) out += " (tuned)";
+  return out;
+}
+
+struct ConvPlan {
+  ConvShape shape;
+  ConvAlgorithm algorithm = ConvAlgorithm::kDirectTiled;
+  /// Honoured by the tunable dataflows, ignored by the baselines.
+  ConvConfig config;
+  /// Winograd variant F(e x e, r x r); meaningful for the Winograd
+  /// algorithms only.
+  std::int64_t e = 2;
+  /// True when `config` came from a TuneCache hit or an autotuning run
+  /// rather than the analytic default.
+  bool tuned = false;
+
+  /// Bounds-layer I/O prediction for this algorithm + configuration
+  /// (elements; 0 when no analytic model exists for the algorithm).
+  double predicted_io_elems = 0;
+  /// Best applicable I/O lower bound for the algorithm's family (elements).
+  double lower_bound_elems = 0;
+  /// Score used to rank this plan: roofline estimate in analytic planning,
+  /// measured dry-run sim time otherwise.
+  double predicted_seconds = 0;
+  /// True when predicted_seconds is a SimGpu dry-run measurement.
+  bool measured = false;
+
+  /// Output elements the executor leases from the workspace per execution.
+  std::int64_t output_elems() const { return shape.output_elems(); }
+
+  /// Predicted I/O over the lower bound; >= 1 for a sound bound, and the
+  /// paper's figure of merit for how close a dataflow is to optimal.
+  double bound_ratio() const {
+    return lower_bound_elems > 0 ? predicted_io_elems / lower_bound_elems
+                                 : 0.0;
+  }
+
+  std::string label() const { return plan_label(algorithm, e, tuned); }
+
+  std::string to_string() const {
+    return "plan[" + label() + " " + config.to_string() + "]";
+  }
+};
+
+}  // namespace convbound

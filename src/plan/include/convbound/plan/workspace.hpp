@@ -1,0 +1,99 @@
+// Reusable buffer arena for plan execution.
+//
+// Repeated executions of the same plans (model inference passes, serving
+// traffic, bench loops) should do zero per-call output/scratch allocation:
+// the executor leases pre-shaped tensors from a Workspace, which grows only
+// while it sees new geometries and afterwards serves every acquire from the
+// pool. Counters expose exactly that steady-state property so tests can
+// assert it.
+//
+// Not thread-safe: one Workspace per execution stream, like a cuDNN handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "convbound/tensor/tensor.hpp"
+
+namespace convbound {
+
+class Workspace {
+  struct Slot {
+    Tensor4<float> tensor;
+    bool in_use = false;
+    Slot(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+         Layout layout)
+        : tensor(n, c, h, w, layout) {}
+  };
+
+ public:
+  /// Move-only handle to a pooled tensor; returns the buffer to the pool on
+  /// destruction. Contents are unspecified on acquisition (kernels write
+  /// every output element).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        slot_ = o.slot_;
+        o.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    Tensor4<float>& tensor() {
+      CB_CHECK_MSG(slot_ != nullptr, "empty workspace lease");
+      return slot_->tensor;
+    }
+    const Tensor4<float>& tensor() const {
+      CB_CHECK_MSG(slot_ != nullptr, "empty workspace lease");
+      return slot_->tensor;
+    }
+    explicit operator bool() const { return slot_ != nullptr; }
+
+   private:
+    friend class Workspace;
+    explicit Lease(Slot* slot) : slot_(slot) {}
+    void release() {
+      if (slot_ != nullptr) slot_->in_use = false;
+      slot_ = nullptr;
+    }
+    Slot* slot_ = nullptr;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Leases a tensor of the requested geometry, reusing an idle pooled
+  /// buffer when one matches; allocates (and remembers) a new one otherwise.
+  Lease acquire(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+                Layout layout = Layout::kNCHW);
+
+  /// Distinct buffers ever allocated. Constant once the workspace has seen
+  /// every geometry of a workload — the zero-steady-state-allocation
+  /// property the executor relies on.
+  std::size_t buffers() const { return slots_.size(); }
+  /// Total acquire() calls.
+  std::uint64_t acquires() const { return acquires_; }
+  /// acquire() calls served from the pool without allocating.
+  std::uint64_t reuses() const { return reuses_; }
+  /// Bytes held by all pooled buffers (leased or idle).
+  std::uint64_t bytes_reserved() const;
+
+  /// Frees every pooled buffer. All leases must have been released.
+  void clear();
+
+ private:
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace convbound

@@ -1,0 +1,55 @@
+#include "convbound/plan/executor.hpp"
+
+#include "convbound/conv/direct.hpp"
+#include "convbound/conv/winograd.hpp"
+
+namespace convbound {
+
+LaunchStats run_plan(SimGpu& gpu, const ConvPlan& plan,
+                     const Tensor4<float>& input,
+                     const Tensor4<float>& weights, Tensor4<float>& out) {
+  const ConvShape& s = plan.shape;
+  s.validate();
+  CB_CHECK_MSG(out.n() == s.batch && out.c() == s.cout &&
+                   out.h() == s.hout() && out.w() == s.wout(),
+               "output tensor does not match plan shape " << s.to_string());
+  switch (plan.algorithm) {
+    case ConvAlgorithm::kDirectTiled:
+      return direct_tiled_sim(gpu, input, weights, s, plan.config, out);
+    case ConvAlgorithm::kDirectNaive:
+      return direct_naive_sim(gpu, input, weights, s, out);
+    case ConvAlgorithm::kIm2col:
+      return im2col_sim(gpu, input, weights, s, out);
+    case ConvAlgorithm::kWinogradFused:
+      return winograd_fused_sim(gpu, input, weights, s, plan.e, plan.config,
+                                out);
+    case ConvAlgorithm::kWinogradPhased:
+      return winograd_phased_sim(gpu, input, weights, s, plan.e, out);
+    case ConvAlgorithm::kCudnnDirect:
+      break;  // falls through to the check below
+  }
+  CB_CHECK_MSG(false, "plan holds non-executable algorithm "
+                          << to_string(plan.algorithm)
+                          << " (the planner resolves best-of aliases)");
+  return {};
+}
+
+ConvExecutor::Execution ConvExecutor::execute(SimGpu& gpu,
+                                              const ConvPlan& plan,
+                                              const Tensor4<float>& input,
+                                              const Tensor4<float>& weights) {
+  const ConvShape& s = plan.shape;
+  Workspace::Lease lease =
+      ws_.acquire(s.batch, s.cout, s.hout(), s.wout(), Layout::kNCHW);
+  LaunchStats stats = run_plan(gpu, plan, input, weights, lease.tensor());
+  return Execution{stats, std::move(lease)};
+}
+
+LaunchStats ConvExecutor::execute_into(SimGpu& gpu, const ConvPlan& plan,
+                                       const Tensor4<float>& input,
+                                       const Tensor4<float>& weights,
+                                       Tensor4<float>& out) {
+  return run_plan(gpu, plan, input, weights, out);
+}
+
+}  // namespace convbound

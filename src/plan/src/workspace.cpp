@@ -1,0 +1,37 @@
+#include "convbound/plan/workspace.hpp"
+
+namespace convbound {
+
+Workspace::Lease Workspace::acquire(std::int64_t n, std::int64_t c,
+                                    std::int64_t h, std::int64_t w,
+                                    Layout layout) {
+  CB_CHECK_MSG(n > 0 && c > 0 && h > 0 && w > 0,
+               "workspace acquire with non-positive geometry");
+  ++acquires_;
+  for (auto& slot : slots_) {
+    const Tensor4<float>& t = slot->tensor;
+    if (!slot->in_use && t.n() == n && t.c() == c && t.h() == h &&
+        t.w() == w && t.layout() == layout) {
+      slot->in_use = true;
+      ++reuses_;
+      return Lease(slot.get());
+    }
+  }
+  slots_.push_back(std::make_unique<Slot>(n, c, h, w, layout));
+  slots_.back()->in_use = true;
+  return Lease(slots_.back().get());
+}
+
+std::uint64_t Workspace::bytes_reserved() const {
+  std::uint64_t bytes = 0;
+  for (const auto& slot : slots_) bytes += slot->tensor.size_bytes();
+  return bytes;
+}
+
+void Workspace::clear() {
+  for (const auto& slot : slots_)
+    CB_CHECK_MSG(!slot->in_use, "clearing workspace with live leases");
+  slots_.clear();
+}
+
+}  // namespace convbound

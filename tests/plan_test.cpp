@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "convbound/conv/reference.hpp"
+#include "convbound/nets/inference.hpp"
+#include "convbound/plan/executor.hpp"
+#include "convbound/plan/planner.hpp"
+#include "convbound/plan/workspace.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+namespace {
+
+ConvShape shape(std::int64_t cin, std::int64_t hw, std::int64_t cout,
+                std::int64_t k, std::int64_t stride, std::int64_t pad,
+                std::int64_t groups = 1) {
+  ConvShape s;
+  s.cin = cin;
+  s.hin = s.win = hw;
+  s.cout = cout;
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.groups = groups;
+  s.validate();
+  return s;
+}
+
+// ------------------------------------------------- capability query ------
+
+TEST(Eligibility, CentralizedInAlgorithmSupports) {
+  // Grouped: no Winograd, no im2col; direct paths stay.
+  const ConvShape grouped = shape(8, 10, 8, 3, 1, 1, 4);
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kWinogradFused, grouped));
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kIm2col, grouped));
+  EXPECT_TRUE(algorithm_supports(ConvAlgorithm::kDirectTiled, grouped));
+  EXPECT_TRUE(algorithm_supports(ConvAlgorithm::kDirectNaive, grouped));
+
+  // Strided: no Winograd.
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kWinogradFused,
+                                  shape(4, 10, 4, 3, 2, 1)));
+  // 5x5 stride 1 is Winograd-eligible (F(2..4, 5) transforms exist).
+  EXPECT_TRUE(algorithm_supports(ConvAlgorithm::kWinogradFused,
+                                 shape(4, 12, 4, 5, 1, 2)));
+  // 1x1 and over-large kernels are not (no useful F(e, r) transform).
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kWinogradFused,
+                                  shape(4, 10, 4, 1, 1, 0)));
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kWinogradFused,
+                                  shape(4, 20, 4, 9, 1, 4)));
+  // Non-square kernel: no Winograd.
+  ConvShape rect = shape(4, 12, 4, 3, 1, 1);
+  rect.kw = 5;
+  rect.pad = 0;
+  rect.validate();
+  EXPECT_FALSE(algorithm_supports(ConvAlgorithm::kWinogradFused, rect));
+}
+
+TEST(Eligibility, PlannerEnumeratesBySet) {
+  const ConvShape s = shape(8, 12, 8, 3, 1, 1);
+  const auto ours =
+      Planner::eligible_algorithms(CandidateSet::kOurs, s);
+  EXPECT_EQ(ours.size(), 2u);  // tiled direct + fused Winograd
+  const auto base =
+      Planner::eligible_algorithms(CandidateSet::kBaseline, s);
+  EXPECT_EQ(base.size(), 3u);  // naive, im2col, phased
+
+  const ConvShape dw = shape(8, 12, 8, 3, 1, 1, 8);  // depthwise
+  EXPECT_EQ(Planner::eligible_algorithms(CandidateSet::kOurs, dw).size(),
+            1u);
+  EXPECT_EQ(Planner::eligible_algorithms(CandidateSet::kBaseline, dw).size(),
+            1u);
+}
+
+// -------------------------------------------------------- fuzz plans -----
+
+// Randomized shapes (grouped, strided, non-square kernels and images):
+// every plan the planner emits must execute and match the reference
+// convolution, for both candidate sets.
+TEST(Planner, FuzzPlansExecuteAndMatchReference) {
+  Rng rng(20260727);
+  SimGpu gpu(MachineSpec::v100());
+  Planner planner;
+  Workspace ws;
+  ConvExecutor exec(ws);
+
+  for (int trial = 0; trial < 24; ++trial) {
+    ConvShape s;
+    s.batch = rng.range(1, 2);
+    s.cin = rng.range(1, 8);
+    s.cout = rng.range(1, 8);
+    s.hin = rng.range(6, 18);
+    s.win = rng.range(6, 18);  // non-square images
+    const std::int64_t kernels[] = {1, 2, 3, 5};
+    s.kh = kernels[rng.below(4)];
+    s.kw = rng.below(4) == 0 ? kernels[rng.below(4)] : s.kh;  // non-square
+    s.stride = rng.range(1, 2);
+    s.pad = rng.below(2) == 0 ? 0 : std::min(s.kh, s.kw) / 2;
+    if (rng.below(3) == 0) {  // grouped / depthwise
+      const std::int64_t g = rng.below(2) == 0 ? 2 : 4;
+      s.cin = ((s.cin + g - 1) / g) * g;
+      s.cout = ((s.cout + g - 1) / g) * g;
+      s.groups = g;
+    }
+    s.hin = std::max(s.hin, s.kh - 2 * s.pad);
+    s.win = std::max(s.win, s.kw - 2 * s.pad);
+    ASSERT_NO_THROW(s.validate()) << s.to_string();
+
+    const ConvProblem p = make_problem(s, 1000 + trial);
+    const Tensor4<float> expect = conv2d_ref(p.input, p.weights, s);
+    for (CandidateSet set : {CandidateSet::kOurs, CandidateSet::kBaseline}) {
+      PlannerOptions opts;
+      opts.candidates = set;
+      opts.mode = PlanMode::kMeasured;
+      const ConvPlan plan = planner.plan(gpu, s, opts);
+      EXPECT_GT(plan.lower_bound_elems, 0) << plan.to_string();
+      ConvExecutor::Execution ex =
+          exec.execute(gpu, plan, p.input, p.weights);
+      EXPECT_GT(ex.stats.sim_time, 0);
+      EXPECT_TRUE(allclose(expect, ex.output.tensor(), 1e-3, 1e-3))
+          << s.to_string() << " via " << plan.to_string() << " maxdiff="
+          << max_abs_diff(expect, ex.output.tensor());
+    }
+  }
+}
+
+// ----------------------------------------------------- tune-cache path ---
+
+TEST(Planner, WarmTuneCacheChangesPlanConfig) {
+  SimGpu gpu(MachineSpec::v100());
+  // Strided shape: only the tiled direct dataflow competes, so the plan's
+  // config is exactly the tuned config.
+  const ConvShape s = shape(8, 14, 16, 3, 2, 1);
+
+  PlannerOptions opts;
+  opts.mode = PlanMode::kTuned;
+  opts.tune_budget = 8;
+  opts.seed = 5;
+
+  TuneCache cache;
+  Planner cold_planner(&cache);
+  const ConvPlan cold = cold_planner.plan(gpu, s, opts);
+  EXPECT_TRUE(cold.tuned);
+  // The autotuned result landed in the cache.
+  const std::string key = TuneCache::make_key(gpu.spec(), s, false, 2);
+  ASSERT_TRUE(cache.get(key).has_value());
+  EXPECT_EQ(cache.get(key)->config, cold.config);
+
+  // Warm the cache with a different (valid) configuration; a fresh planner
+  // must emit it instead of re-tuning.
+  ConvConfig custom;
+  custom.x = custom.y = custom.z = 1;
+  ASSERT_NE(custom, cold.config);
+  cache.put(key, {custom, /*gflops=*/1e9}, /*force=*/true);
+  Planner warm_planner(&cache);
+  const ConvPlan warm = warm_planner.plan(gpu, s, opts);
+  EXPECT_TRUE(warm.tuned);
+  EXPECT_EQ(warm.config, custom);
+}
+
+TEST(Planner, MemoisesPlans) {
+  SimGpu gpu(MachineSpec::v100());
+  Planner planner;
+  const ConvShape s = shape(4, 10, 4, 3, 1, 1);
+  PlannerOptions opts;
+  (void)planner.plan(gpu, s, opts);
+  const std::size_t n = planner.plans_memoised();
+  EXPECT_EQ(n, 1u);
+  (void)planner.plan(gpu, s, opts);
+  EXPECT_EQ(planner.plans_memoised(), n);  // hit, not a new entry
+}
+
+// ------------------------------------------------------- workspace -------
+
+TEST(Workspace, PoolsByGeometryAndCountsReuse) {
+  Workspace ws;
+  {
+    Workspace::Lease a = ws.acquire(1, 2, 3, 4);
+    Workspace::Lease b = ws.acquire(1, 2, 3, 4);  // simultaneous -> 2nd slot
+    EXPECT_EQ(ws.buffers(), 2u);
+    EXPECT_EQ(ws.reuses(), 0u);
+  }
+  {
+    Workspace::Lease c = ws.acquire(1, 2, 3, 4);  // pooled
+    EXPECT_EQ(ws.buffers(), 2u);
+    EXPECT_EQ(ws.reuses(), 1u);
+    Workspace::Lease d = ws.acquire(2, 2, 3, 4);  // new geometry
+    EXPECT_EQ(ws.buffers(), 3u);
+  }
+  EXPECT_EQ(ws.acquires(), 4u);
+  EXPECT_GT(ws.bytes_reserved(), 0u);
+  ws.clear();
+  EXPECT_EQ(ws.buffers(), 0u);
+}
+
+// The acceptance property of the executor/workspace split: a second
+// inference pass over the same model performs zero output/scratch
+// allocations — every lease is served from the warm arena, and plans are
+// not re-planned or re-tuned.
+TEST(Workspace, SecondInferencePassAllocatesNothing) {
+  SimGpu gpu(MachineSpec::v100());
+  std::vector<ConvLayer> layers;
+  layers.push_back({"l1", shape(4, 12, 8, 3, 1, 1)});
+  layers.push_back({"l2", shape(8, 12, 8, 3, 2, 1)});
+
+  InferenceSession session;
+  const ModelReport first = run_model(gpu, "tiny", layers,
+                                      ModelStrategy::kOursTuned, session,
+                                      /*tune_budget=*/8);
+  const std::size_t warm_buffers = session.workspace().buffers();
+  const std::size_t warm_plans = session.planner().plans_memoised();
+  EXPECT_GT(warm_buffers, 0u);
+  EXPECT_EQ(warm_plans, layers.size());
+
+  const ModelReport second = run_model(gpu, "tiny", layers,
+                                       ModelStrategy::kOursTuned, session,
+                                       /*tune_budget=*/8);
+  EXPECT_EQ(session.workspace().buffers(), warm_buffers);   // zero allocs
+  EXPECT_EQ(session.planner().plans_memoised(), warm_plans);  // plan-once
+  EXPECT_GE(session.workspace().reuses(), layers.size());
+  EXPECT_DOUBLE_EQ(first.total_seconds, second.total_seconds);
+
+  // The chosen plan is recorded per layer.
+  for (const auto& l : second.layers) {
+    EXPECT_EQ(l.plan.shape, l.shape);
+    EXPECT_TRUE(l.plan.tuned);
+    EXPECT_FALSE(l.algorithm.empty());
+  }
+}
+
+// ---------------------------------------------------------- executor -----
+
+TEST(Executor, ExecuteIntoMatchesLeasedExecution) {
+  SimGpu gpu(MachineSpec::v100());
+  const ConvShape s = shape(4, 11, 6, 3, 1, 1);
+  Planner planner;
+  const ConvPlan plan = planner.plan(gpu, s, PlannerOptions{});
+  const ConvProblem p = make_problem(s, 9);
+
+  Workspace ws;
+  ConvExecutor exec(ws);
+  ConvExecutor::Execution ex = exec.execute(gpu, plan, p.input, p.weights);
+
+  Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
+  const LaunchStats stats =
+      exec.execute_into(gpu, plan, p.input, p.weights, out);
+  EXPECT_DOUBLE_EQ(stats.sim_time, ex.stats.sim_time);
+  EXPECT_TRUE(allclose(out, ex.output.tensor(), 0, 0));
+
+  Tensor4<float> wrong(s.batch, s.cout + 1, s.hout(), s.wout());
+  EXPECT_THROW(exec.execute_into(gpu, plan, p.input, p.weights, wrong),
+               Error);
+}
+
+}  // namespace
+}  // namespace convbound

@@ -12,13 +12,23 @@
 //       persist the result to a cache.
 //   models [--machine NAME]
 //       Compare baseline vs our dataflows across the CNN model zoo.
+//   plan   --model NAME | --cin N --in N --cout N [...]
+//          [--mode analytic|measured|tuned] [--set ours|baseline]
+//          [--budget N] [--cache FILE] [--machine NAME]
+//       Bound-guided planning. With --model, print the per-layer plan table
+//       (algorithm, config, predicted I/O vs the I/O lower bound); with a
+//       single shape, print the full candidate ranking. --mode tuned
+//       consults/fills the tune cache; analytic (default) executes nothing.
 //
 // Machines: 1080ti, titanx, v100 (default), gfx906.
+// Models: squeezenet, vgg-19, resnet-18, resnet-34, inception-v3, mobilenet.
 // Algorithms: tiled (default), naive, im2col, cudnn, winograd, phased, fft.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "convbound/convbound.hpp"
 #include "convbound/tune/cache.hpp"
@@ -187,6 +197,121 @@ int cmd_tune(const Args& a) {
   return 0;
 }
 
+std::vector<ConvLayer> model_by_name(const std::string& name,
+                                     std::int64_t batch) {
+  auto lower = [](const std::string& s) {
+    std::string out;
+    for (char c : s)
+      if (c != '-' && c != '_')
+        out += static_cast<char>(std::tolower(c));
+    return out;
+  };
+  const std::string want = lower(name);
+  auto zoo = model_zoo(batch);
+  zoo.emplace_back("MobileNet-v1", mobilenet_v1(batch));
+  for (auto& [zoo_name, layers] : zoo) {
+    const std::string have = lower(zoo_name);
+    if (have == want || have.rfind(want, 0) == 0) return std::move(layers);
+  }
+  CB_CHECK_MSG(false, "unknown model '" << name
+                                        << "' (squeezenet|vgg-19|resnet-18|"
+                                           "resnet-34|inception-v3|mobilenet)");
+  return {};
+}
+
+PlannerOptions planner_options_from(const Args& a) {
+  PlannerOptions opts;
+  const std::string mode = a.gets("mode", "analytic");
+  if (mode == "analytic") {
+    opts.mode = PlanMode::kAnalytic;
+  } else if (mode == "measured") {
+    opts.mode = PlanMode::kMeasured;
+  } else if (mode == "tuned") {
+    opts.mode = PlanMode::kTuned;
+  } else {
+    CB_CHECK_MSG(false, "unknown mode '" << mode
+                                         << "' (analytic|measured|tuned)");
+  }
+  const std::string set = a.gets("set", "ours");
+  CB_CHECK_MSG(set == "ours" || set == "baseline",
+               "unknown candidate set '" << set << "' (ours|baseline)");
+  opts.candidates =
+      set == "ours" ? CandidateSet::kOurs : CandidateSet::kBaseline;
+  opts.tune_budget = static_cast<int>(a.geti("budget", 32));
+  opts.seed = static_cast<std::uint64_t>(a.geti("seed", 42));
+  opts.workers = static_cast<int>(a.geti("workers", 0));
+  return opts;
+}
+
+int cmd_plan(const Args& a) {
+  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  const PlannerOptions opts = planner_options_from(a);
+
+  const std::string cache_path = a.gets("cache", "");
+  TuneCache cache;
+  if (!cache_path.empty()) {
+    try {
+      cache = TuneCache::load(cache_path);
+    } catch (const Error&) {
+      // no cache file yet — tuned planning will create one below
+    }
+  }
+  Planner planner(&cache);
+
+  auto mb = [](double elems) { return elems * 4e-6; };
+  const std::string model_name = a.gets("model", "");
+  if (!model_name.empty()) {
+    const auto layers = model_by_name(model_name, a.geti("batch", 1));
+    Table t({"layer", "shape", "algorithm", "config", "pred I/O MB",
+             "bound MB", "ratio"});
+    double total_io = 0, total_pred_s = 0;
+    for (const auto& layer : layers) {
+      const ConvPlan p = planner.plan(gpu, layer.shape, opts);
+      t.add_row({layer.name, layer.shape.to_string(), p.label(),
+                 p.config.to_string(), Table::fmt(mb(p.predicted_io_elems), 3),
+                 Table::fmt(mb(p.lower_bound_elems), 3),
+                 Table::fmt(p.bound_ratio(), 2)});
+      total_io += p.predicted_io_elems;
+      total_pred_s += p.predicted_seconds;
+    }
+    std::printf("%s on %s (%s planning)\n", model_name.c_str(),
+                gpu.spec().name.c_str(), a.gets("mode", "analytic").c_str());
+    std::printf("%s", t.to_string().c_str());
+    std::printf("total predicted I/O: %.2f MB   total %s time: %.3f ms\n",
+                mb(total_io),
+                opts.mode == PlanMode::kAnalytic ? "roofline" : "measured",
+                total_pred_s * 1e3);
+  } else {
+    const ConvShape s = shape_from(a);
+    const auto cands = planner.enumerate(gpu, s, opts);
+    std::printf("candidates for %s on %s (best first):\n",
+                s.to_string().c_str(), gpu.spec().name.c_str());
+    Table t({"algorithm", "config", "pred I/O MB", "bound MB", "ratio",
+             opts.mode == PlanMode::kAnalytic ? "roofline ms" : "measured ms",
+             "note"});
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const auto& c = cands[i];
+      t.add_row({plan_label(c.algorithm, c.e, c.tuned), c.config.to_string(),
+                 Table::fmt(mb(c.predicted_io_elems), 3),
+                 Table::fmt(mb(c.lower_bound_elems), 3),
+                 Table::fmt(c.lower_bound_elems > 0
+                                ? c.predicted_io_elems / c.lower_bound_elems
+                                : 0.0,
+                            2),
+                 Table::fmt(c.predicted_seconds * 1e3, 4),
+                 c.infeasible ? "infeasible"
+                              : (i == 0 ? "<- plan" : "")});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  if (!cache_path.empty() && opts.mode == PlanMode::kTuned) {
+    cache.save(cache_path);
+    std::printf("tune cache saved to %s\n", cache_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_models(const Args& a) {
   SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
   Table t({"model", "conv GFLOP", "baseline (ms)", "ours (ms)", "speedup"});
@@ -209,7 +334,8 @@ int cmd_models(const Args& a) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: convbound-cli <bound|run|tune|models> [--flag value]...\n"
+               "usage: convbound-cli <bound|run|tune|plan|models> "
+               "[--flag value]...\n"
                "  see the header comment of tools/convbound_cli.cpp\n");
   return 2;
 }
@@ -224,6 +350,7 @@ int main(int argc, char** argv) {
     if (cmd == "bound") return cmd_bound(a);
     if (cmd == "run") return cmd_run(a);
     if (cmd == "tune") return cmd_tune(a);
+    if (cmd == "plan") return cmd_plan(a);
     if (cmd == "models") return cmd_models(a);
     return usage();
   } catch (const convbound::Error& e) {
