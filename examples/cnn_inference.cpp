@@ -28,10 +28,13 @@ int main(int argc, char** argv) {
               layers.size(), static_cast<double>(model_flops(layers)) / 1e9,
               gpu.spec().name.c_str());
 
+  // One long-lived session carries the plan memo, tune cache, and workspace
+  // arena across both strategy runs (and any repeated passes).
+  InferenceSession session;
   const ModelReport base =
-      run_model(gpu, which, layers, ModelStrategy::kBaseline);
+      run_model(gpu, which, layers, ModelStrategy::kBaseline, session);
   const ModelReport ours =
-      run_model(gpu, which, layers, ModelStrategy::kOursDefault);
+      run_model(gpu, which, layers, ModelStrategy::kOursDefault, session);
 
   Table t({"layer", "shape", "baseline (us)", "ours (us)", "speedup",
            "winning algo"});

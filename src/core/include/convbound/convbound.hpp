@@ -31,6 +31,9 @@
 #include "convbound/plan/executor.hpp"
 #include "convbound/plan/planner.hpp"
 #include "convbound/plan/workspace.hpp"
+#include "convbound/serve/batch_policy.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/serve/server.hpp"
 #include "convbound/tensor/conv_shape.hpp"
 #include "convbound/tensor/tensor.hpp"
 #include "convbound/tune/engine.hpp"

@@ -9,9 +9,16 @@
 // defaults), and emits an immutable ConvPlan for the executor. Plans are
 // memoised per (machine, shape, options), so callers plan once and execute
 // many times.
+//
+// Concurrency: plan()/enumerate() are safe to call from several threads on
+// one Planner (the memo is mutex-guarded and the TuneCache is thread-safe);
+// concurrent cold misses may plan the same shape twice, but the first
+// memoised plan wins and every caller receives it. A shared SimGpu is safe
+// too — launches keep all mutable state on the stack.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,7 +110,7 @@ class Planner {
                           const PlannerOptions& opts);
 
   TuneCache* cache() const { return cache_; }
-  std::size_t plans_memoised() const { return memo_.size(); }
+  std::size_t plans_memoised() const;
 
  private:
   PlanCandidate make_candidate(SimGpu& gpu, const ConvShape& s,
@@ -112,6 +119,7 @@ class Planner {
   ConvPlan to_plan(const ConvShape& s, const PlanCandidate& c) const;
 
   TuneCache* cache_;
+  mutable std::mutex memo_mu_;
   std::map<std::string, ConvPlan> memo_;
 };
 

@@ -7,11 +7,17 @@
 // pool. Counters expose exactly that steady-state property so tests can
 // assert it.
 //
-// Not thread-safe: one Workspace per execution stream, like a cuDNN handle.
+// Thread-safe: acquire/release and the counters are internally
+// synchronized, so observers (serving stats) may read while executors
+// lease. The *contents* of a leased tensor still belong to exactly one
+// execution stream at a time — the lease is the ownership token, like a
+// cuDNN handle's workspace pointer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "convbound/tensor/tensor.hpp"
@@ -21,7 +27,9 @@ namespace convbound {
 class Workspace {
   struct Slot {
     Tensor4<float> tensor;
-    bool in_use = false;
+    /// Atomic so Lease release (lock-free) can race the pool scan (which
+    /// runs under the workspace mutex).
+    std::atomic<bool> in_use{false};
     Slot(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
          Layout layout)
         : tensor(n, c, h, w, layout) {}
@@ -61,7 +69,7 @@ class Workspace {
     friend class Workspace;
     explicit Lease(Slot* slot) : slot_(slot) {}
     void release() {
-      if (slot_ != nullptr) slot_->in_use = false;
+      if (slot_ != nullptr) slot_->in_use.store(false, std::memory_order_release);
       slot_ = nullptr;
     }
     Slot* slot_ = nullptr;
@@ -79,11 +87,11 @@ class Workspace {
   /// Distinct buffers ever allocated. Constant once the workspace has seen
   /// every geometry of a workload — the zero-steady-state-allocation
   /// property the executor relies on.
-  std::size_t buffers() const { return slots_.size(); }
+  std::size_t buffers() const;
   /// Total acquire() calls.
-  std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t acquires() const;
   /// acquire() calls served from the pool without allocating.
-  std::uint64_t reuses() const { return reuses_; }
+  std::uint64_t reuses() const;
   /// Bytes held by all pooled buffers (leased or idle).
   std::uint64_t bytes_reserved() const;
 
@@ -91,6 +99,7 @@ class Workspace {
   void clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::uint64_t acquires_ = 0;
   std::uint64_t reuses_ = 0;

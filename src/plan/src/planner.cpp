@@ -259,14 +259,24 @@ std::vector<PlanCandidate> Planner::enumerate(SimGpu& gpu, const ConvShape& s,
 ConvPlan Planner::plan(SimGpu& gpu, const ConvShape& s,
                        const PlannerOptions& opts) {
   const std::string key = memo_key(gpu.spec(), s, opts);
-  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
-
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+  }
+  // Planning (dry runs, autotuning) happens outside the lock; when two
+  // threads race on the same cold shape, the first emplace wins and both
+  // return the memoised plan.
   const std::vector<PlanCandidate> cands = enumerate(gpu, s, opts);
   CB_CHECK_MSG(!cands.empty() && !cands.front().infeasible,
                "no feasible plan for " << s.to_string());
   const ConvPlan p = to_plan(s, cands.front());
-  memo_.emplace(key, p);
-  return p;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_.emplace(key, p).first->second;
+}
+
+std::size_t Planner::plans_memoised() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_.size();
 }
 
 ConvPlan Planner::plan_algorithm(SimGpu& gpu, const ConvShape& s,

@@ -1,0 +1,67 @@
+// Thread-safe bounded request queue.
+//
+// Many client threads push; one BatchScheduler thread inspects the oldest
+// entry and collects same-model groups. Bounded capacity is the server's
+// backpressure mechanism: push fails instead of blocking, so overload turns
+// into explicit rejections rather than unbounded latency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "convbound/serve/request.hpp"
+
+namespace convbound {
+
+/// A queued request plus its completion promise and arrival time.
+struct PendingRequest {
+  InferRequest request;
+  std::promise<InferResponse> promise;
+  ServeTimePoint enqueued{};
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// False when the queue is full or closed (the caller completes the
+  /// promise with kRejected / kShutdown itself).
+  bool push(PendingRequest&& p);
+
+  /// Blocks until the queue is non-empty or closed. True with the oldest
+  /// entry's model + arrival time; false when closed and drained.
+  bool wait_front(std::string* model, ServeTimePoint* enqueued);
+
+  /// Waits until `max_n` requests of `model` are queued, `deadline` passes,
+  /// or the queue closes; then removes and returns up to `max_n` of them,
+  /// oldest first (possibly empty if another collector raced them away).
+  std::vector<PendingRequest> collect(const std::string& model,
+                                      std::size_t max_n,
+                                      ServeTimePoint deadline);
+
+  /// Wakes all waiters; subsequent pushes fail. Queued entries remain for
+  /// wait_front/collect/drain.
+  void close();
+
+  /// Removes everything (shutdown path).
+  std::vector<PendingRequest> drain();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace convbound

@@ -1,0 +1,60 @@
+// Request/response types of the inference server.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "convbound/tensor/tensor.hpp"
+
+namespace convbound {
+
+/// The serving clock. Wall time (latencies, deadlines, batch windows) is
+/// host time; the modelled accelerator time of a batch is reported
+/// separately in the response/stats.
+using ServeClock = std::chrono::steady_clock;
+using ServeTimePoint = ServeClock::time_point;
+
+/// One inference request: a single-image input for `model` (geometry must
+/// match the model's input layer). Requests whose deadline passes before
+/// execution starts are completed with kDeadlineExceeded instead of run.
+struct InferRequest {
+  std::string model;
+  Tensor4<float> input;  ///< [1, cin, hin, win], NCHW
+  ServeTimePoint deadline = ServeTimePoint::max();
+};
+
+enum class ServeStatus {
+  kOk,
+  kRejected,          ///< queue full on submit (backpressure)
+  kDeadlineExceeded,  ///< deadline passed while queued
+  kShutdown,          ///< server stopped before the request ran
+  kError,             ///< execution failed; see InferResponse::error
+};
+
+inline const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+struct InferResponse {
+  ServeStatus status = ServeStatus::kError;
+  /// Final-layer output for this request's lane, [1, cout, hout, wout].
+  /// Valid only when status == kOk.
+  Tensor4<float> output;
+  /// Submit-to-completion wall latency, seconds.
+  double latency_seconds = 0;
+  /// How many live requests shared this request's micro-batch.
+  int batch_size = 0;
+  /// Modelled accelerator time of the whole micro-batch, seconds.
+  double batch_sim_seconds = 0;
+  std::string error;
+};
+
+}  // namespace convbound

@@ -1,0 +1,66 @@
+// Dynamic micro-batching scheduler.
+//
+// One thread watches the queue's oldest request, then collects up to that
+// model's bucket of same-model requests, waiting at most `max_delay` past
+// the oldest arrival before dispatching a partial group — the classic
+// max-batch/max-delay policy. Head-of-line batching is deliberate: the
+// window is bounded by max_delay, after which the next model's group is
+// formed immediately.
+//
+// Groups are formed as late as possible: the optional `wait_slot` hook
+// blocks until an executor is free *before* the group is collected, so
+// under saturation the backlog pools in the request queue (where it keeps
+// batching up and counts toward backpressure) instead of fragmenting into
+// partial groups queued behind busy workers.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "convbound/serve/queue.hpp"
+
+namespace convbound {
+
+class BatchScheduler {
+ public:
+  /// `bucket_of` maps a model name to its micro-batch bucket; `dispatch`
+  /// receives each non-empty group (called on the scheduler thread — hand
+  /// off to workers quickly).
+  using BucketOf = std::function<std::int64_t(const std::string&)>;
+  using Dispatch =
+      std::function<void(std::vector<PendingRequest>, const std::string&)>;
+  /// Blocks until an executor slot is free (may be empty).
+  using WaitSlot = std::function<void()>;
+
+  BatchScheduler(RequestQueue& queue, std::chrono::microseconds max_delay,
+                 BucketOf bucket_of, Dispatch dispatch,
+                 WaitSlot wait_slot = {})
+      : queue_(queue),
+        max_delay_(max_delay),
+        bucket_of_(std::move(bucket_of)),
+        dispatch_(std::move(dispatch)),
+        wait_slot_(std::move(wait_slot)) {}
+  ~BatchScheduler() { join(); }
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  void start();
+  /// Returns once the queue is closed and drained. Close the queue first.
+  void join();
+
+ private:
+  void loop();
+
+  RequestQueue& queue_;
+  std::chrono::microseconds max_delay_;
+  BucketOf bucket_of_;
+  Dispatch dispatch_;
+  WaitSlot wait_slot_;
+  std::thread thread_;
+};
+
+}  // namespace convbound

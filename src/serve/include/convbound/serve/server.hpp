@@ -1,0 +1,135 @@
+// In-process dynamic micro-batching inference server on the plan layer.
+//
+//   clients ──submit()──► RequestQueue ──► BatchScheduler ──► ThreadPool
+//                         (bounded,         (same-model          workers
+//                          backpressure)     groups, bound-        │
+//                                            guided bucket,        ▼
+//                                            max-delay window)  SessionPool
+//                                                               (warm plans +
+//                                                                workspaces per
+//                                                                model×bucket)
+//
+// Planning, tuning, and workspace growth all happen in start(); the
+// steady-state serving path performs zero planning and zero workspace
+// allocation (asserted by tests/serve_test.cpp via the stats counters).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convbound/machine/machine_spec.hpp"
+#include "convbound/plan/planner.hpp"
+#include "convbound/serve/batch_policy.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/serve/queue.hpp"
+#include "convbound/serve/scheduler.hpp"
+#include "convbound/serve/session_pool.hpp"
+#include "convbound/serve/stats.hpp"
+#include "convbound/util/thread_pool.hpp"
+
+namespace convbound {
+
+struct ServerOptions {
+  MachineSpec machine = MachineSpec::v100();
+  /// Batch-executor worker threads.
+  int workers = 2;
+  /// Sessions per (model, bucket): how many batches of one model may be in
+  /// flight concurrently.
+  int replicas = 1;
+  /// Queue capacity; submits beyond it are rejected (backpressure).
+  std::size_t max_queue = 256;
+  /// How long the scheduler holds a partial group past its oldest arrival.
+  std::chrono::microseconds max_delay{2000};
+  /// 0 = bound-guided bucket per model (choose_batch_bucket); otherwise a
+  /// fixed bucket for every model (1 = the unbatched baseline).
+  std::int64_t force_bucket = 0;
+  BatchPolicyOptions policy;
+  /// Planning mode for the warm sessions (kTuned autotunes through the
+  /// shared thread-safe TuneCache).
+  PlanMode plan_mode = PlanMode::kMeasured;
+  int tune_budget = 16;
+  std::uint64_t seed = 42;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(std::vector<ServedModel> models, ServerOptions opts);
+  /// Stops and drains if still running.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Chooses buckets, builds + warms every session (the only place planning
+  /// and tuning happen), and starts the scheduler and workers.
+  void start();
+
+  /// Closes the queue, lets the scheduler drain it, and joins everything.
+  /// Queued-but-unserved requests complete with kShutdown. Idempotent.
+  void stop();
+
+  /// Thread-safe; never blocks. The future completes with kRejected when
+  /// the queue is full and kShutdown after stop(). Requests may be queued
+  /// before start(); they are served once the server starts.
+  std::future<InferResponse> submit(InferRequest request);
+
+  StatsSnapshot stats() const;
+
+  const ServedModel& model(const std::string& name) const;
+  /// The scored bucket candidates behind `name`'s chosen bucket.
+  const BucketChoice& bucket_choice(const std::string& name) const;
+  /// The scheduler's max group size for `name` (the chosen bucket).
+  std::int64_t bucket_of(const std::string& name) const;
+  /// Warm session buckets for `name`: powers of two up to the chosen
+  /// bucket. A partial group executes at the smallest covering bucket, so
+  /// padding waste is at most 2x instead of chosen-bucket x.
+  const std::vector<std::int64_t>& exec_buckets(const std::string& name) const;
+  const ServerOptions& options() const { return opts_; }
+  TuneCache& tune_cache() { return cache_; }
+
+ private:
+  void execute_batch(std::vector<PendingRequest> group,
+                     const std::string& model_name);
+
+  /// Executor-slot gate: the scheduler blocks here before forming a group,
+  /// so batching happens as late as possible and saturation backlog pools
+  /// in the request queue.
+  void wait_for_slot();
+  void release_slot();
+
+  /// Total memoised plans across the per-model planners.
+  std::size_t plans_memoised() const;
+
+  ServerOptions opts_;
+  std::map<std::string, ServedModel> models_;
+  std::map<std::string, BucketChoice> buckets_;
+  std::map<std::string, std::vector<std::int64_t>> exec_buckets_;
+  TuneCache cache_;
+  /// One shared thread-safe Planner per model (its memo keys include the
+  /// batch size, so the whole bucket ladder plans each geometry once).
+  /// Declared before sessions_: sessions hold pointers into this map.
+  /// planners_mu_ guards the map itself (and warm_plans_) so a stats()
+  /// poll racing start()'s emplaces is safe; the Planners inside are
+  /// individually thread-safe.
+  mutable std::mutex planners_mu_;
+  std::map<std::string, Planner> planners_;
+  RequestQueue queue_;
+  SessionPool sessions_;
+  ServerStats stats_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::mutex slots_mu_;
+  std::condition_variable slots_cv_;
+  int free_slots_ = 0;
+  std::size_t warm_plans_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace convbound

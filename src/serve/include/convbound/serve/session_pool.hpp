@@ -1,0 +1,124 @@
+// Pre-planned, warm execution sessions per (model, batch bucket).
+//
+// A ServeSession owns everything one in-flight micro-batch needs — a
+// serial-mode SimGpu (batch-level parallelism lives in the server's worker
+// pool, mirroring the batched measurement engine), a Planner with memoised
+// per-layer plans at the bucket's batch size, and a Workspace arena warmed
+// over every activation geometry — so steady-state serving performs zero
+// planning and zero workspace allocation. The SessionPool hands sessions
+// out under exclusive leases; workers block when every replica of a key is
+// busy, which bounds memory instead of growing cold sessions under load.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "convbound/machine/sim_gpu.hpp"
+#include "convbound/plan/executor.hpp"
+#include "convbound/plan/planner.hpp"
+#include "convbound/serve/model.hpp"
+
+namespace convbound {
+
+class ServeSession {
+ public:
+  /// `model` and `planner` must outlive the session. The planner is shared
+  /// (it is thread-safe and memoises per shape, so replicas and bucket
+  /// ladders plan each geometry exactly once between them); the workspace
+  /// is per-session, since leased tensors belong to one batch at a time.
+  ServeSession(const ServedModel& model, std::int64_t bucket,
+               const MachineSpec& spec, Planner& planner,
+               const PlannerOptions& plan_opts);
+
+  /// Plans every layer at the bucket's batch size and runs one throwaway
+  /// batch so the workspace has seen every geometry. After warm(), serving
+  /// this session allocates nothing and never plans.
+  void warm();
+
+  struct BatchResult {
+    LaunchStats stats;          ///< aggregated over all layers
+    Workspace::Lease output;    ///< final layer output, [bucket, ...]
+  };
+
+  /// Runs the pipeline on a [bucket, cin, hin, win] input.
+  BatchResult run(const Tensor4<float>& batch_input);
+
+  const ServedModel& model() const { return *model_; }
+  std::int64_t bucket() const { return bucket_; }
+  Planner& planner() { return *planner_; }
+  Workspace& workspace() { return workspace_; }
+
+ private:
+  const ServedModel* model_;
+  std::int64_t bucket_;
+  SimGpu gpu_;
+  PlannerOptions plan_opts_;
+  Planner* planner_;
+  Workspace workspace_;
+  ConvExecutor executor_;
+  std::vector<ConvPlan> plans_;
+};
+
+class SessionPool {
+ public:
+  SessionPool() = default;
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Exclusive session lease; returns the replica to the pool on
+  /// destruction.
+  class Guard {
+   public:
+    Guard(Guard&& o) noexcept : pool_(o.pool_), session_(o.session_) {
+      o.pool_ = nullptr;
+      o.session_ = nullptr;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard();
+
+    ServeSession& operator*() { return *session_; }
+    ServeSession* operator->() { return session_; }
+
+   private:
+    friend class SessionPool;
+    Guard(SessionPool* pool, ServeSession* session)
+        : pool_(pool), session_(session) {}
+    SessionPool* pool_;
+    ServeSession* session_;
+  };
+
+  /// Registers (and owns) one replica for (session->model(), bucket).
+  void add(std::unique_ptr<ServeSession> session);
+
+  /// Blocks until a replica of (model, bucket) is free. Throws Error when
+  /// the key was never registered.
+  Guard acquire(const std::string& model, std::int64_t bucket);
+
+  // Aggregate observability (safe while sessions are serving: Workspace
+  // counters are internally synchronized). Plan counts live on the shared
+  // per-model planners, not here.
+  std::size_t sessions() const;
+  std::size_t workspace_buffers() const;
+  std::uint64_t workspace_bytes() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<ServeSession> session;
+    bool busy = false;
+  };
+
+  void release(ServeSession* session);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::vector<Replica>> replicas_;  // key: model|bucket
+};
+
+}  // namespace convbound

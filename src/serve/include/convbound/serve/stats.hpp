@@ -1,0 +1,98 @@
+// Serving observability: counters, latency percentiles, batch-size
+// histogram. One mutex guards everything — recording happens per batch and
+// per rejection, far off any per-element hot path.
+//
+// Latencies are kept in a fixed-size uniform reservoir (algorithm R), so a
+// long-running server's memory and snapshot cost stay bounded; below the
+// reservoir capacity the percentiles are exact, above it they are an
+// unbiased sample estimate. Counters and the mean stay exact throughout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "convbound/serve/request.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+
+/// Point-in-time copy of the server's counters with derived quantities.
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   ///< backpressure (queue full)
+  std::uint64_t expired = 0;    ///< deadline passed while queued
+  std::uint64_t failed = 0;     ///< execution errors
+  std::uint64_t batches = 0;
+
+  double wall_seconds = 0;         ///< since mark_start()
+  double throughput_rps = 0;       ///< completed / wall_seconds
+  /// Total modelled accelerator seconds across batches, and the request
+  /// rate one modelled accelerator sustains — the simulator-side figure of
+  /// merit (wall numbers measure this host, modelled numbers the machine
+  /// model the paper reasons about).
+  double sim_seconds = 0;
+  double modelled_rps = 0;
+
+  // Submit-to-completion wall latency over completed requests, seconds.
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+  double latency_max = 0;
+  double latency_mean = 0;
+
+  /// Live micro-batch size -> batch count.
+  std::vector<std::pair<int, std::uint64_t>> batch_histogram;
+  double mean_batch_size = 0;
+
+  std::size_t queue_depth = 0;      ///< at snapshot time
+  std::size_t max_queue_depth = 0;  ///< high-water mark
+
+  // Session-pool state (filled by the server).
+  std::size_t plans_memoised = 0;
+  std::uint64_t plan_misses_after_warm = 0;
+  std::size_t workspace_buffers = 0;
+  std::uint64_t workspace_bytes = 0;
+};
+
+class ServerStats {
+ public:
+  void mark_start();
+
+  void record_submitted(std::size_t queue_depth_after);
+  void record_rejected();
+  void record_expired(std::size_t n);
+  void record_failed(std::size_t n);
+  /// One executed micro-batch: group size, modelled batch time, and the
+  /// per-request wall latencies.
+  void record_batch(std::size_t group, double sim_seconds,
+                    const std::vector<double>& latencies);
+
+  /// Derived values only; the session-pool and queue-depth fields are the
+  /// server's to fill.
+  StatsSnapshot snapshot() const;
+
+  /// Latency-reservoir capacity (doubles retained at most).
+  static constexpr std::size_t kLatencyReservoir = 1 << 16;
+
+ private:
+  mutable std::mutex mu_;
+  ServeTimePoint start_{};
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  double sim_seconds_ = 0;
+  double latency_sum_ = 0;
+  double latency_max_ = 0;
+  std::vector<double> latencies_;  ///< uniform reservoir over completions
+  Rng reservoir_rng_{0x5e28e};
+  std::map<int, std::uint64_t> histogram_;
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace convbound

@@ -1,0 +1,73 @@
+#include "convbound/serve/queue.hpp"
+
+#include <algorithm>
+
+namespace convbound {
+
+bool RequestQueue::push(PendingRequest&& p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+bool RequestQueue::wait_front(std::string* model, ServeTimePoint* enqueued) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  *model = items_.front().request.model;
+  *enqueued = items_.front().enqueued;
+  return true;
+}
+
+std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
+                                                  std::size_t max_n,
+                                                  ServeTimePoint deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto have_group = [&] {
+    if (closed_) return true;
+    std::size_t n = 0;
+    for (const auto& p : items_)
+      if (p.request.model == model && ++n >= max_n) return true;
+    return false;
+  };
+  cv_.wait_until(lock, deadline, have_group);
+
+  std::vector<PendingRequest> out;
+  out.reserve(max_n);
+  for (auto it = items_.begin(); it != items_.end() && out.size() < max_n;) {
+    if (it->request.model == model) {
+      out.push_back(std::move(*it));
+      it = items_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> out(std::make_move_iterator(items_.begin()),
+                                  std::make_move_iterator(items_.end()));
+  items_.clear();
+  return out;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace convbound

@@ -1,0 +1,33 @@
+#include "convbound/serve/scheduler.hpp"
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+void BatchScheduler::start() {
+  CB_CHECK_MSG(!thread_.joinable(), "scheduler already started");
+  thread_ = std::thread([this] { loop(); });
+}
+
+void BatchScheduler::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void BatchScheduler::loop() {
+  std::string model;
+  ServeTimePoint enqueued;
+  while (queue_.wait_front(&model, &enqueued)) {
+    // Gate before collecting: only this thread removes from the queue, so
+    // the oldest entry (and its arrival time) is stable across the wait,
+    // and any backlog built up meanwhile fattens the group.
+    if (wait_slot_) wait_slot_();
+    const std::int64_t bucket = bucket_of_(model);
+    std::vector<PendingRequest> group = queue_.collect(
+        model, static_cast<std::size_t>(bucket), enqueued + max_delay_);
+    // Dispatch even a (theoretically) empty group: the dispatcher owns the
+    // executor slot taken above and must return it.
+    dispatch_(std::move(group), model);
+  }
+}
+
+}  // namespace convbound

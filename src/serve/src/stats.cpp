@@ -1,0 +1,109 @@
+#include "convbound/serve/stats.hpp"
+
+#include <algorithm>
+
+namespace convbound {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void ServerStats::mark_start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_ = ServeClock::now();
+}
+
+void ServerStats::record_submitted(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+}
+
+void ServerStats::record_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++rejected_;
+}
+
+void ServerStats::record_expired(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expired_ += n;
+}
+
+void ServerStats::record_failed(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_ += n;
+}
+
+void ServerStats::record_batch(std::size_t group, double sim_seconds,
+                               const std::vector<double>& latencies) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  sim_seconds_ += sim_seconds;
+  ++histogram_[static_cast<int>(group)];
+  for (double l : latencies) {
+    ++completed_;
+    latency_sum_ += l;
+    latency_max_ = std::max(latency_max_, l);
+    if (latencies_.size() < kLatencyReservoir) {
+      latencies_.push_back(l);
+    } else {
+      // Algorithm R: keep each of the completed_ latencies with equal
+      // probability kLatencyReservoir / completed_.
+      const std::uint64_t j = reservoir_rng_.below(completed_);
+      if (j < kLatencyReservoir) latencies_[static_cast<std::size_t>(j)] = l;
+    }
+  }
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.expired = expired_;
+  s.failed = failed_;
+  s.batches = batches_;
+  s.sim_seconds = sim_seconds_;
+  s.max_queue_depth = max_queue_depth_;
+  if (start_ != ServeTimePoint{}) {
+    s.wall_seconds =
+        std::chrono::duration<double>(ServeClock::now() - start_).count();
+  }
+  if (s.wall_seconds > 0)
+    s.throughput_rps = static_cast<double>(s.completed) / s.wall_seconds;
+  if (s.sim_seconds > 0)
+    s.modelled_rps = static_cast<double>(s.completed) / s.sim_seconds;
+
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  s.latency_p50 = percentile(sorted, 0.50);
+  s.latency_p95 = percentile(sorted, 0.95);
+  s.latency_p99 = percentile(sorted, 0.99);
+  s.latency_max = latency_max_;
+  s.latency_mean = completed_ > 0
+                       ? latency_sum_ / static_cast<double>(completed_)
+                       : 0;
+
+  std::uint64_t grouped = 0;
+  for (const auto& [size, count] : histogram_) {
+    s.batch_histogram.emplace_back(size, count);
+    grouped += static_cast<std::uint64_t>(size) * count;
+  }
+  if (batches_ > 0)
+    s.mean_batch_size =
+        static_cast<double>(grouped) / static_cast<double>(batches_);
+  return s;
+}
+
+}  // namespace convbound

@@ -6,9 +6,15 @@
 //   key|x y z nxt nyt nzt layout smem|gflops
 // chosen over JSON to keep the library dependency-free and the files
 // mergeable with line-based tools.
+//
+// Thread-safe: one cache may be shared by concurrent planners (the serving
+// session pool tunes through a single process-wide cache). get() returns a
+// copy; racing put()s keep the better-GFlops entry, so the outcome is
+// order-independent.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -24,6 +30,10 @@ class TuneCache {
     double gflops = 0;
   };
 
+  TuneCache() = default;
+  TuneCache(const TuneCache& other);
+  TuneCache& operator=(const TuneCache& other);
+
   /// Canonical lookup key for a tuning task.
   static std::string make_key(const MachineSpec& spec, const ConvShape& shape,
                               bool winograd, std::int64_t e);
@@ -34,7 +44,7 @@ class TuneCache {
 
   std::optional<Entry> get(const std::string& key) const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
 
   /// Round-trippable text form.
   std::string serialize() const;
@@ -46,6 +56,7 @@ class TuneCache {
   void merge(const TuneCache& other);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

@@ -7,6 +7,18 @@
 
 namespace convbound {
 
+TuneCache::TuneCache(const TuneCache& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  entries_ = other.entries_;
+}
+
+TuneCache& TuneCache::operator=(const TuneCache& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  entries_ = other.entries_;
+  return *this;
+}
+
 std::string TuneCache::make_key(const MachineSpec& spec,
                                 const ConvShape& shape, bool winograd,
                                 std::int64_t e) {
@@ -21,6 +33,7 @@ void TuneCache::put(const std::string& key, const Entry& entry, bool force) {
   CB_CHECK_MSG(key.find('|') == std::string::npos &&
                    key.find('\n') == std::string::npos,
                "cache key must not contain '|' or newlines");
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end() || force || entry.gflops > it->second.gflops) {
     entries_[key] = entry;
@@ -28,13 +41,20 @@ void TuneCache::put(const std::string& key, const Entry& entry, bool force) {
 }
 
 std::optional<TuneCache::Entry> TuneCache::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
+std::size_t TuneCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 std::string TuneCache::serialize() const {
   std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, e] : entries_) {
     // ConvConfig::key() is the canonical field order the parser below reads.
     os << key << '|' << e.config.key() << '|' << e.gflops << '\n';
@@ -86,7 +106,15 @@ TuneCache TuneCache::load(const std::string& path) {
 }
 
 void TuneCache::merge(const TuneCache& other) {
-  for (const auto& [key, e] : other.entries_) put(key, e);
+  if (this == &other) return;
+  // Copy the source under its own lock, then insert through put() so the
+  // better-entry-wins rule applies without holding both locks at once.
+  std::map<std::string, Entry> src;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    src = other.entries_;
+  }
+  for (const auto& [key, e] : src) put(key, e);
 }
 
 }  // namespace convbound

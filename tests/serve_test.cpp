@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "convbound/serve/batch_policy.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/serve/queue.hpp"
+#include "convbound/serve/server.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+namespace {
+
+// Small pipelines with randomized geometries (fixed seed): strided,
+// grouped, and Winograd-eligible layers all appear across the three
+// models, so the serving path exercises every dataflow family.
+std::vector<ServedModel> tiny_models() {
+  Rng rng(20260727);
+  std::vector<ServedModel> models;
+  for (int m = 0; m < 3; ++m) {
+    std::vector<ConvLayer> layers;
+    const int depth = 2 + m % 2;
+    for (int l = 0; l < depth; ++l) {
+      ConvShape s;
+      s.cin = 2 * rng.range(1, 3);
+      s.cout = 2 * rng.range(1, 3);
+      s.hin = s.win = rng.range(8, 14);
+      s.kh = s.kw = 3;
+      s.stride = (m == 1 && l == 0) ? 2 : 1;
+      s.pad = 1;
+      if (m == 2 && l == 0) {  // grouped head
+        s.cin = s.cout = 4;
+        s.groups = 2;
+      }
+      s.validate();
+      layers.push_back({"m" + std::to_string(m) + "_l" + std::to_string(l), s});
+    }
+    models.push_back(
+        make_served_model("tiny" + std::to_string(m), layers, {}));
+  }
+  return models;
+}
+
+ServerOptions tiny_options() {
+  ServerOptions opts;
+  opts.machine = MachineSpec::v100();
+  opts.workers = 3;
+  opts.replicas = 2;
+  opts.max_queue = 512;
+  opts.max_delay = std::chrono::microseconds(500);
+  opts.policy.max_bucket = 4;
+  return opts;
+}
+
+// ------------------------------------------------------ request queue ----
+
+TEST(RequestQueue, BoundedPushAndGroupCollect) {
+  RequestQueue q(2);
+  auto pending = [](const std::string& model) {
+    PendingRequest p;
+    p.request.model = model;
+    p.enqueued = ServeClock::now();
+    return p;
+  };
+  EXPECT_TRUE(q.push(pending("a")));
+  EXPECT_TRUE(q.push(pending("b")));
+  EXPECT_FALSE(q.push(pending("a")));  // full -> backpressure
+  EXPECT_EQ(q.depth(), 2u);
+
+  std::string model;
+  ServeTimePoint enq;
+  ASSERT_TRUE(q.wait_front(&model, &enq));
+  EXPECT_EQ(model, "a");
+
+  // Collecting "a" must skip the interleaved "b" and return immediately
+  // once the deadline passes with only one matching entry.
+  auto group = q.collect("a", 4, ServeClock::now());
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].request.model, "a");
+  EXPECT_EQ(q.depth(), 1u);
+
+  q.close();
+  EXPECT_FALSE(q.push(pending("c")));
+  auto rest = q.collect("b", 4, ServeTimePoint::max());  // closed: no wait
+  ASSERT_EQ(rest.size(), 1u);
+  ASSERT_FALSE(q.wait_front(&model, &enq));  // closed + drained
+}
+
+// ------------------------------------------------------- batch policy ----
+
+TEST(BatchPolicy, BoundGuidedBucketSitsAtTheKnee) {
+  const auto models = tiny_models();
+  BatchPolicyOptions opts;
+  opts.max_bucket = 8;
+  const BucketChoice c =
+      choose_batch_bucket(models[0], MachineSpec::v100(), opts);
+  ASSERT_EQ(c.scores.size(), 4u);  // 1, 2, 4, 8
+  // Launch-overhead amortisation: per-request predicted time never gets
+  // worse with batching on these tiny layers.
+  for (std::size_t i = 1; i < c.scores.size(); ++i)
+    EXPECT_LE(c.scores[i].predicted_seconds_per_request,
+              c.scores[i - 1].predicted_seconds_per_request * 1.001);
+  EXPECT_GT(c.bucket, 1);  // batching predicted to pay off
+  // The chosen bucket is a scored candidate and marked as chosen.
+  bool found = false;
+  for (const auto& s : c.scores)
+    if (s.bucket == c.bucket) found = s.chosen;
+  EXPECT_TRUE(found);
+
+  // A tight latency budget forces small batches.
+  BatchPolicyOptions tight = opts;
+  tight.latency_budget_seconds = 1e-12;
+  EXPECT_EQ(choose_batch_bucket(models[0], MachineSpec::v100(), tight).bucket,
+            1);
+}
+
+// --------------------------------------------------- serving pipeline ----
+
+TEST(Serve, SingleRequestMatchesReference) {
+  auto models = tiny_models();
+  InferenceServer server(models, tiny_options());
+  server.start();
+
+  const Tensor4<float> input = make_request_input(models[1], 7);
+  auto fut = server.submit({models[1].name, input});
+  const InferResponse r = fut.get();
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_GT(r.batch_size, 0);
+  EXPECT_GT(r.batch_sim_seconds, 0);
+
+  const Tensor4<float> expect = reference_run(models[1], input);
+  EXPECT_TRUE(allclose(expect, r.output, 1e-3, 1e-3))
+      << "maxdiff=" << max_abs_diff(expect, r.output);
+  server.stop();
+}
+
+// The satellite stress test: N client threads x M models with randomized
+// shapes; every response must match the single-threaded reference, and
+// steady-state serving must hit zero plan-cache misses and zero workspace
+// growth after warmup.
+TEST(Serve, MultiThreadedStressMatchesReferenceWithZeroPlanMisses) {
+  auto models = tiny_models();
+  InferenceServer server(models, tiny_options());
+  server.start();
+
+  const StatsSnapshot warm = server.stats();
+  EXPECT_EQ(warm.plan_misses_after_warm, 0u);
+  EXPECT_GT(warm.plans_memoised, 0u);
+  EXPECT_GT(warm.workspace_buffers, 0u);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 12;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t seed = 1000u * c + i;
+        const ServedModel& m = models[(c + i) % models.size()];
+        const Tensor4<float> input = make_request_input(m, seed);
+        InferResponse r = server.submit({m.name, input}).get();
+        ASSERT_EQ(r.status, ServeStatus::kOk);
+        const Tensor4<float> expect = reference_run(m, input);
+        ASSERT_TRUE(allclose(expect, r.output, 1e-3, 1e-3))
+            << m.name << " seed=" << seed
+            << " maxdiff=" << max_abs_diff(expect, r.output);
+        ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  // Steady state: no planning, no workspace growth past warmup.
+  EXPECT_EQ(s.plan_misses_after_warm, 0u);
+  EXPECT_EQ(s.plans_memoised, warm.plans_memoised);
+  EXPECT_EQ(s.workspace_buffers, warm.workspace_buffers);
+  EXPECT_EQ(s.workspace_bytes, warm.workspace_bytes);
+  // Every completed request went through a micro-batch.
+  std::uint64_t grouped = 0;
+  for (const auto& [size, count] : s.batch_histogram) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 4);  // max_bucket
+    grouped += static_cast<std::uint64_t>(size) * count;
+  }
+  EXPECT_EQ(grouped, s.completed);
+  server.stop();
+}
+
+// ------------------------------------------------ backpressure & stop ----
+
+TEST(Serve, BackpressureRejectsDeterministicallyBeforeStart) {
+  auto models = tiny_models();
+  ServerOptions opts = tiny_options();
+  opts.max_queue = 2;
+  InferenceServer server(models, opts);
+
+  // Not started: nothing drains the queue, so the third submit must be
+  // rejected by the bounded queue.
+  const Tensor4<float> input = make_request_input(models[0], 1);
+  auto f1 = server.submit({models[0].name, input});
+  auto f2 = server.submit({models[0].name, input});
+  auto f3 = server.submit({models[0].name, input});
+  EXPECT_EQ(f3.get().status, ServeStatus::kRejected);
+
+  server.start();  // now the two queued requests get served
+  EXPECT_EQ(f1.get().status, ServeStatus::kOk);
+  EXPECT_EQ(f2.get().status, ServeStatus::kOk);
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed, 2u);
+  server.stop();
+
+  // After stop, submits complete immediately with kShutdown.
+  EXPECT_EQ(server.submit({models[0].name, input}).get().status,
+            ServeStatus::kShutdown);
+}
+
+TEST(Serve, ExpiredDeadlineIsDroppedNotExecuted) {
+  auto models = tiny_models();
+  InferenceServer server(models, tiny_options());
+  const Tensor4<float> input = make_request_input(models[0], 3);
+
+  InferRequest expired{models[0].name, input,
+                       ServeClock::now() - std::chrono::seconds(1)};
+  auto f1 = server.submit(std::move(expired));
+  auto f2 = server.submit({models[0].name, input});  // no deadline
+  server.start();
+
+  EXPECT_EQ(f1.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(f2.get().status, ServeStatus::kOk);
+  EXPECT_EQ(server.stats().expired, 1u);
+  server.stop();
+}
+
+TEST(Serve, RejectsMalformedRequests) {
+  auto models = tiny_models();
+  InferenceServer server(models, tiny_options());
+  EXPECT_THROW(server.submit({"no-such-model", Tensor4<float>(1, 1, 1, 1)}),
+               Error);
+  Tensor4<float> wrong(1, models[0].input_c() + 1, models[0].input_h(),
+                       models[0].input_w());
+  EXPECT_THROW(server.submit({models[0].name, wrong}), Error);
+}
+
+// ------------------------------------------------ shared tune cache ------
+
+TEST(Serve, TunedPlanningSharesTheThreadSafeCache) {
+  auto models = tiny_models();
+  ServerOptions opts = tiny_options();
+  opts.plan_mode = PlanMode::kTuned;
+  opts.tune_budget = 4;
+  InferenceServer server(models, opts);
+  // Warmup tunes through the one shared TuneCache; the second replica of
+  // each (model, bucket) hits the entries the first replica autotuned.
+  server.start();
+  EXPECT_GT(server.tune_cache().size(), 0u);
+
+  const Tensor4<float> input = make_request_input(models[0], 11);
+  InferResponse r = server.submit({models[0].name, input}).get();
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_TRUE(allclose(reference_run(models[0], input), r.output, 1e-3, 1e-3));
+  EXPECT_EQ(server.stats().plan_misses_after_warm, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace convbound

@@ -19,19 +19,32 @@
 //       (algorithm, config, predicted I/O vs the I/O lower bound); with a
 //       single shape, print the full candidate ranking. --mode tuned
 //       consults/fills the tune cache; analytic (default) executes nothing.
+//   serve  [--models CSV] [--clients N] [--requests N] [--layers N]
+//          [--chan-cap N] [--spatial-cap N] [--serve-workers N]
+//          [--replicas N] [--queue N] [--delay-us N] [--bucket N]
+//          [--max-bucket N] [--mode measured|tuned] [--budget N]
+//          [--machine NAME]
+//       Closed-loop self-benchmark of the micro-batching inference server:
+//       N client threads each send `requests` back-to-back requests across
+//       the (scaled-down) models; prints the bound-guided bucket tables,
+//       throughput, latency percentiles, and the batch-size histogram.
+//       --bucket 0 (default) = bound-guided bucket; 1 = unbatched baseline.
 //
 // Machines: 1080ti, titanx, v100 (default), gfx906.
 // Models: squeezenet, vgg-19, resnet-18, resnet-34, inception-v3, mobilenet.
 // Algorithms: tiled (default), naive, im2col, cudnn, winograd, phased, fft.
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "convbound/convbound.hpp"
 #include "convbound/tune/cache.hpp"
+#include "convbound/util/timer.hpp"
 
 namespace {
 
@@ -312,6 +325,134 @@ int cmd_plan(const Args& a) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_serve(const Args& a) {
+  ServedModelOptions scale;
+  scale.max_layers = static_cast<std::size_t>(a.geti("layers", 3));
+  scale.channel_cap = a.geti("chan-cap", 16);
+  scale.spatial_cap = a.geti("spatial-cap", 28);
+
+  std::vector<ServedModel> models;
+  for (const std::string& name :
+       split_csv(a.gets("models", "squeezenet,resnet-18")))
+    models.push_back(
+        make_served_model(name, model_by_name(name, 1), scale));
+
+  ServerOptions opts;
+  opts.machine = machine_by_name(a.gets("machine", "v100"));
+  opts.workers = static_cast<int>(a.geti("serve-workers", 2));
+  opts.replicas = static_cast<int>(a.geti("replicas", 1));
+  opts.max_queue = static_cast<std::size_t>(a.geti("queue", 256));
+  opts.max_delay = std::chrono::microseconds(a.geti("delay-us", 2000));
+  opts.force_bucket = a.geti("bucket", 0);
+  opts.policy.max_bucket = a.geti("max-bucket", 8);
+  const std::string mode = a.gets("mode", "measured");
+  CB_CHECK_MSG(mode == "measured" || mode == "tuned",
+               "serve planning mode must be measured|tuned");
+  opts.plan_mode = mode == "tuned" ? PlanMode::kTuned : PlanMode::kMeasured;
+  opts.tune_budget = static_cast<int>(a.geti("budget", 16));
+
+  InferenceServer server(models, opts);
+  WallTimer warm_timer;
+  server.start();
+  std::printf("started: %zu models on %s, %d workers, warmup %.2fs "
+              "(planning + workspace warm; serving does neither)\n\n",
+              models.size(), opts.machine.name.c_str(), opts.workers,
+              warm_timer.seconds());
+
+  Table buckets({"model", "bucket", "pred us/req by bucket",
+                 "batch us at chosen"});
+  for (const auto& m : models) {
+    const BucketChoice& c = server.bucket_choice(m.name);
+    std::string curve;
+    double chosen_batch_us = 0;
+    for (const auto& s : c.scores) {
+      if (!curve.empty()) curve += "  ";
+      curve += std::to_string(s.bucket) + ":" +
+               Table::fmt(s.predicted_seconds_per_request * 1e6, 1) +
+               (s.feasible ? "" : "!");
+      if (s.bucket == c.bucket) chosen_batch_us = s.predicted_batch_seconds;
+    }
+    buckets.add_row({m.name, std::to_string(c.bucket), curve,
+                     Table::fmt(chosen_batch_us * 1e6, 1)});
+  }
+  std::printf("%s\n", buckets.to_string().c_str());
+
+  const int clients = static_cast<int>(a.geti("clients", 4));
+  const int per_client = static_cast<int>(a.geti("requests", 16));
+  WallTimer load_timer;
+  // Failures are counted, never thrown: an exception escaping a client
+  // thread would std::terminate the whole benchmark.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const ServedModel& m = models[(c + i) % models.size()];
+        const InferResponse r =
+            server
+                .submit({m.name, make_request_input(m, 7000u * c + i)})
+                .get();
+        if (r.status != ServeStatus::kOk) {
+          ++failures;
+          std::fprintf(stderr, "request failed: %s %s\n",
+                       to_string(r.status), r.error.c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = load_timer.seconds();
+  const StatsSnapshot s = server.stats();
+  server.stop();
+
+  std::printf("closed loop: %d clients x %d requests in %.2fs\n", clients,
+              per_client, wall);
+  Table t({"metric", "value"});
+  t.add_row({"completed", std::to_string(s.completed)});
+  t.add_row({"micro-batches", std::to_string(s.batches)});
+  t.add_row({"mean batch size", Table::fmt(s.mean_batch_size, 2)});
+  t.add_row({"throughput (wall)",
+             Table::fmt(static_cast<double>(s.completed) / wall, 1) +
+                 " req/s"});
+  t.add_row({"throughput (modelled accel)",
+             Table::fmt(s.modelled_rps, 0) + " req/s"});
+  t.add_row({"latency p50 / p95 / p99 (ms)",
+             Table::fmt(s.latency_p50 * 1e3, 2) + " / " +
+                 Table::fmt(s.latency_p95 * 1e3, 2) + " / " +
+                 Table::fmt(s.latency_p99 * 1e3, 2)});
+  t.add_row({"rejected / expired",
+             std::to_string(s.rejected) + " / " + std::to_string(s.expired)});
+  t.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
+  t.add_row({"plan-cache misses after warm",
+             std::to_string(s.plan_misses_after_warm)});
+  t.add_row({"workspace",
+             std::to_string(s.workspace_buffers) + " buffers, " +
+                 Table::fmt(static_cast<double>(s.workspace_bytes) / 1e6, 2) +
+                 " MB"});
+  std::printf("%s", t.to_string().c_str());
+
+  std::string hist = "batch-size histogram:";
+  for (const auto& [size, count] : s.batch_histogram)
+    hist += " " + std::to_string(size) + "x" + std::to_string(count);
+  std::printf("%s\n", hist.c_str());
+  if (failures.load() > 0)
+    std::fprintf(stderr, "%d requests failed\n", failures.load());
+  return failures.load() == 0 && s.plan_misses_after_warm == 0 ? 0 : 1;
+}
+
 int cmd_models(const Args& a) {
   SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
   Table t({"model", "conv GFLOP", "baseline (ms)", "ours (ms)", "speedup"});
@@ -334,7 +475,7 @@ int cmd_models(const Args& a) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: convbound-cli <bound|run|tune|plan|models> "
+               "usage: convbound-cli <bound|run|tune|plan|models|serve> "
                "[--flag value]...\n"
                "  see the header comment of tools/convbound_cli.cpp\n");
   return 2;
@@ -352,6 +493,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(a);
     if (cmd == "plan") return cmd_plan(a);
     if (cmd == "models") return cmd_models(a);
+    if (cmd == "serve") return cmd_serve(a);
     return usage();
   } catch (const convbound::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
