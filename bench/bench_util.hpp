@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +36,11 @@ class JsonObject {
     return add_raw(key, fmt_number(v));
   }
   JsonObject& add(const std::string& key, int v) {
+    return add_raw(key, std::to_string(v));
+  }
+  // Exact (doubles go through a 6-significant-digit formatter; seeds and
+  // counters must round-trip).
+  JsonObject& add(const std::string& key, std::uint64_t v) {
     return add_raw(key, std::to_string(v));
   }
   JsonObject& add(const std::string& key, bool v) {
@@ -88,6 +94,19 @@ class JsonObject {
  private:
   std::string fields_;
 };
+
+/// CI smoke scale for the serving/cluster load generators.
+inline bool serve_smoke() {
+  return std::getenv("CONVBOUND_SERVE_SMOKE") != nullptr;
+}
+
+/// Request-input RNG seed for the serving/cluster benches: a per-bench
+/// fixed default, overridable with CONVBOUND_BENCH_SEED, and recorded in
+/// the bench JSON so CI regression comparisons reproduce bit-for-bit.
+inline std::uint64_t bench_seed(std::uint64_t default_seed) {
+  const char* s = std::getenv("CONVBOUND_BENCH_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : default_seed;
+}
 
 /// Joins pre-serialised JSON values into an array.
 inline std::string json_array(const std::vector<std::string>& items) {

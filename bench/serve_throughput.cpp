@@ -25,7 +25,8 @@
 namespace convbound::bench {
 namespace {
 
-bool smoke() { return std::getenv("CONVBOUND_SERVE_SMOKE") != nullptr; }
+bool smoke() { return serve_smoke(); }
+std::uint64_t seed_base() { return bench_seed(50000ull); }
 
 constexpr int kWorkers = 2;
 
@@ -79,11 +80,12 @@ RunResult run_load(const std::vector<ServedModel>& models,
     for (const auto& m : models) g_buckets[m.name] = server.bucket_of(m.name);
 
   const int n = num_requests();
+  const std::uint64_t seed = seed_base();
   std::vector<InferRequest> requests;
   requests.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const ServedModel& m = models[static_cast<std::size_t>(i) % models.size()];
-    requests.push_back({m.name, make_request_input(m, 50000u + i)});
+    requests.push_back({m.name, make_request_input(m, seed + i)});
   }
 
   // Open loop: fixed inter-arrival injection, regardless of completions.
@@ -196,11 +198,15 @@ void print_summary() {
                               .add("model", model)
                               .add("bucket", static_cast<int>(b))
                               .to_string());
+  double batched_modelled_rps_at_peak = 0;
+  if (batched != nullptr) batched_modelled_rps_at_peak = batched->modelled_rps;
   JsonObject out;
   out.add("bench", "serve_throughput")
       .add("smoke", smoke())
+      .add("seed", seed_base())
       .add("requests_per_cell", num_requests())
       .add("workers", kWorkers)
+      .add("batched_modelled_rps_at_peak", batched_modelled_rps_at_peak)
       .add_raw("bound_guided_buckets", json_array(bucket_json))
       .add_raw("runs", json_array(runs_json))
       .add("batched_vs_batch1_modelled_ratio_at_peak", modelled_ratio)

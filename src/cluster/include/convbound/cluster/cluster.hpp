@@ -1,0 +1,141 @@
+// Heterogeneous multi-accelerator sharded serving.
+//
+//   clients ──submit()──► RequestQueue ──► BatchScheduler ──► Router
+//                         (fleet-wide,       (same-model        (bound-aware
+//                          backpressure)      groups)            placement,
+//                                                │               per-device
+//                                                ▼               caps, work
+//                                   ClusterDevice[placement]     stealing)
+//                                   engine + workers per device
+//
+// One front door, N simulated accelerators with *different* MachineSpecs.
+// Every device owns its full serving stack (bound-guided buckets for its
+// own spec, planners, tune cache, warm sessions, worker pool); the Router
+// places each request group on the device with the best predicted
+// per-request completion, using the paper's analytic cost model (Eq 20/22
+// dataflow I/O + roofline per device) instead of measuring — the same
+// machinery that makes plans rank differently across machines in the fig13
+// arch-sensitivity experiment. When the preferred device's pending queue is
+// at its cap, the group is stolen by the next-best device; when all devices
+// are saturated, backlog pools in the fleet queue (bounded, rejecting:
+// backpressure stays explicit).
+//
+// Groups are same-model and a model's micro-batch bucket differs per device
+// (chosen against each spec), so the scheduler collects *after* placement
+// at the placed device's bucket — that is the Placement generalization in
+// serve/scheduler.hpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convbound/cluster/device.hpp"
+#include "convbound/cluster/router.hpp"
+#include "convbound/serve/engine.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/serve/queue.hpp"
+#include "convbound/serve/scheduler.hpp"
+#include "convbound/serve/stats.hpp"
+
+namespace convbound {
+
+struct ClusterOptions {
+  /// The fleet: one entry per simulated accelerator (specs may repeat for a
+  /// homogeneous fleet or differ for a heterogeneous one).
+  std::vector<DeviceConfig> devices;
+  RoutePolicy policy = RoutePolicy::kBoundAware;
+  /// Fleet queue capacity; submits beyond it are rejected (backpressure).
+  std::size_t max_queue = 1024;
+  /// How long the scheduler holds a partial group past its oldest arrival.
+  std::chrono::microseconds max_delay{2000};
+  /// 0 = bound-guided bucket per (model, device); otherwise fixed.
+  std::int64_t force_bucket = 0;
+  BatchPolicyOptions batch_policy;
+  PlanMode plan_mode = PlanMode::kMeasured;
+  int tune_budget = 16;
+  std::uint64_t seed = 42;
+
+  EngineOptions engine_options() const {
+    EngineOptions e;
+    e.force_bucket = force_bucket;
+    e.policy = batch_policy;
+    e.plan_mode = plan_mode;
+    e.tune_budget = tune_budget;
+    e.seed = seed;
+    return e;  // machine/replicas are overridden per device
+  }
+};
+
+struct DeviceSnapshot {
+  std::string name;
+  std::string spec_name;
+  /// Groups the Router placed on this device (>= stats.batches while
+  /// groups are still queued on the device).
+  std::uint64_t placements = 0;
+  StatsSnapshot stats;
+};
+
+struct ClusterSnapshot {
+  /// Fleet-wide merge (see merge_snapshots): modelled_rps is the makespan
+  /// figure total-completed / busiest-device-sim-seconds; submitted /
+  /// rejected / queue depths are the front door's.
+  StatsSnapshot fleet;
+  std::vector<DeviceSnapshot> devices;
+  /// Groups placed on a non-preferred device (work-stealing fallback).
+  std::uint64_t stolen_groups = 0;
+};
+
+class ClusterServer {
+ public:
+  ClusterServer(std::vector<ServedModel> models, ClusterOptions opts);
+  /// Stops and drains if still running.
+  ~ClusterServer();
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  /// Warms every device (the only place planning/tuning happen anywhere in
+  /// the fleet), builds the Router from the per-device bucket predictions,
+  /// and starts the scheduler.
+  void start();
+
+  /// Closes the fleet queue, drains the scheduler and every device, and
+  /// completes still-queued requests with kShutdown. Idempotent.
+  void stop();
+
+  /// Thread-safe; never blocks. kRejected when the fleet queue is full,
+  /// kShutdown after stop(). Requests may be queued before start().
+  std::future<InferResponse> submit(InferRequest request);
+
+  ClusterSnapshot stats() const;
+
+  /// Valid after start() (the Router is built from warm-time predictions).
+  const Router& router() const;
+
+  std::size_t num_devices() const { return devices_.size(); }
+  const ClusterDevice& device(std::size_t i) const { return *devices_[i]; }
+  ClusterDevice& device(std::size_t i) { return *devices_[i]; }
+  const ServedModel& model(const std::string& name) const;
+  const ClusterOptions& options() const { return opts_; }
+
+ private:
+  ClusterOptions opts_;
+  std::map<std::string, ServedModel> models_;
+  /// Front-door counters (submitted / rejected / queue watermark); each
+  /// device records its own execution-side stats.
+  ServerStats stats_;
+  std::vector<std::unique_ptr<ClusterDevice>> devices_;
+  RequestQueue queue_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace convbound

@@ -1,0 +1,89 @@
+// One simulated accelerator in a heterogeneous fleet.
+//
+// A ClusterDevice pairs a ServeEngine (bound-guided buckets, per-model
+// planners, TuneCache, warm SessionPool — all chosen against *this
+// device's* MachineSpec) with its own executor worker pool and its own
+// ServerStats. Devices share the fleet's immutable ServedModel weights but
+// nothing mutable: planning on one device never touches another, and the
+// per-device zero-plan-miss / zero-alloc steady-state invariant holds
+// independently for every spec in the fleet.
+//
+// The device does not pull work; the cluster's scheduler pushes groups the
+// Router placed on it via enqueue(). Admission control lives in the Router
+// (per-device pending caps), so the pool's internal task queue stays
+// shallow by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convbound/machine/machine_spec.hpp"
+#include "convbound/serve/engine.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/serve/queue.hpp"
+#include "convbound/serve/stats.hpp"
+#include "convbound/util/thread_pool.hpp"
+
+namespace convbound {
+
+struct DeviceConfig {
+  MachineSpec spec;
+  /// Display name; empty = "d<i>:<spec name>" assigned by the cluster.
+  std::string name;
+  /// Executor worker threads on this device.
+  int workers = 1;
+  /// Sessions per (model, bucket); 0 = one per worker.
+  int replicas = 0;
+  /// Per-device queue depth: groups in flight + queued before the Router
+  /// steals to another device; 0 = 2 * workers.
+  int max_pending_groups = 0;
+
+  int effective_replicas() const { return replicas > 0 ? replicas : workers; }
+  int effective_pending() const {
+    return max_pending_groups > 0 ? max_pending_groups : 2 * workers;
+  }
+};
+
+class ClusterDevice {
+ public:
+  /// `models` is unowned and must outlive the device (the cluster owns one
+  /// map shared by the whole fleet).
+  ClusterDevice(const std::map<std::string, ServedModel>& models,
+                DeviceConfig config, const EngineOptions& engine_opts);
+
+  ClusterDevice(const ClusterDevice&) = delete;
+  ClusterDevice& operator=(const ClusterDevice&) = delete;
+
+  /// Warms the engine (all planning/tuning) and starts the worker pool.
+  void start();
+
+  /// Runs every queued group to completion and joins the workers.
+  /// Idempotent.
+  void drain();
+
+  /// Queues one Router-placed group for execution. `on_done` runs after the
+  /// group completes (success or failure) — the cluster uses it to return
+  /// the Router reservation.
+  void enqueue(std::vector<PendingRequest> group, const std::string& model,
+               std::function<void()> on_done);
+
+  /// Device-side counters (batches, latencies, plan misses, workspace).
+  StatsSnapshot stats() const;
+
+  const std::string& name() const { return config_.name; }
+  const DeviceConfig& config() const { return config_; }
+  ServeEngine& engine() { return engine_; }
+  const ServeEngine& engine() const { return engine_; }
+
+ private:
+  DeviceConfig config_;
+  ServerStats stats_;
+  ServeEngine engine_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace convbound

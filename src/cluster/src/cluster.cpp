@@ -1,0 +1,162 @@
+#include "convbound/cluster/cluster.hpp"
+
+#include <utility>
+
+#include "convbound/util/check.hpp"
+#include "convbound/util/thread_pool.hpp"
+
+namespace convbound {
+
+ClusterServer::ClusterServer(std::vector<ServedModel> models,
+                             ClusterOptions opts)
+    : opts_(std::move(opts)),
+      models_(index_models(std::move(models))),
+      queue_(opts_.max_queue) {
+  CB_CHECK_MSG(!opts_.devices.empty(), "cluster needs at least one device");
+  const EngineOptions eopts = opts_.engine_options();
+  for (std::size_t i = 0; i < opts_.devices.size(); ++i) {
+    DeviceConfig cfg = opts_.devices[i];
+    if (cfg.name.empty())
+      cfg.name = "d" + std::to_string(i) + ":" + cfg.spec.name;
+    devices_.push_back(
+        std::make_unique<ClusterDevice>(models_, std::move(cfg), eopts));
+  }
+}
+
+ClusterServer::~ClusterServer() { stop(); }
+
+void ClusterServer::start() {
+  CB_CHECK_MSG(!started_, "cluster already started");
+  // Devices warm serially here but each warm() parallelises internally
+  // across the global pool, so fleet startup still scales with cores.
+  for (auto& d : devices_) d->start();
+
+  // The Router's cost table comes from the plan layer at warm time: for
+  // every (device, model), the predicted whole-batch time of the bucket
+  // choose_batch_bucket picked against that device's spec — SimGpu dry-run
+  // predictions under the default kMeasured planning, pure Eq 20/22 +
+  // roofline under kAnalytic. Routing itself never measures anything; it
+  // reads these per-device predictions.
+  std::vector<Router::DeviceEntry> entries;
+  for (auto& d : devices_) {
+    Router::DeviceEntry e;
+    e.name = d->name();
+    e.max_pending_groups = d->config().effective_pending();
+    for (const auto& [name, model] : models_) {
+      Router::ModelCost cost;
+      cost.bucket = d->engine().bucket_of(name);
+      cost.batch_seconds = d->engine().predicted_batch_seconds(name);
+      e.costs.emplace(name, cost);
+    }
+    entries.push_back(std::move(e));
+  }
+  router_ = std::make_unique<Router>(opts_.policy, std::move(entries));
+
+  scheduler_ = std::make_unique<BatchScheduler>(
+      queue_, opts_.max_delay,
+      [this](const std::string& m) { return router_->reserve(m); },
+      [this](std::vector<PendingRequest> group, const std::string& m,
+             const Placement& p) {
+        devices_[static_cast<std::size_t>(p.device)]->enqueue(
+            std::move(group), m,
+            [this, d = p.device, m] { router_->complete(d, m); });
+      });
+  stats_.mark_start();
+  started_ = true;
+  scheduler_->start();
+}
+
+void ClusterServer::stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  // The scheduler drains the closed queue (placing every remaining group),
+  // then exits; devices must stay alive until it joins because reserve()
+  // unblocks only through their completions.
+  if (scheduler_ != nullptr) scheduler_->join();
+  for (auto& d : devices_) d->drain();
+  // Only a never-started cluster still holds queued requests here.
+  for (auto& p : queue_.drain()) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    p.promise.set_value(std::move(r));
+  }
+}
+
+std::future<InferResponse> ClusterServer::submit(InferRequest request) {
+  validate_request(models_, request);
+  PendingRequest p;
+  p.request = std::move(request);
+  p.enqueued = ServeClock::now();
+  std::future<InferResponse> fut = p.promise.get_future();
+
+  if (stopped_) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    p.promise.set_value(std::move(r));
+    return fut;
+  }
+  if (!queue_.push(std::move(p))) {
+    // `p` is untouched on a failed push (full or closed); stop() flips
+    // stopped_ before closing the queue, so re-reading it distinguishes a
+    // shutdown race from genuine backpressure.
+    InferResponse r;
+    if (stopped_) {
+      r.status = ServeStatus::kShutdown;
+    } else {
+      r.status = ServeStatus::kRejected;
+      stats_.record_rejected();
+    }
+    p.promise.set_value(std::move(r));
+    return fut;
+  }
+  stats_.record_submitted(queue_.depth());
+  return fut;
+}
+
+ClusterSnapshot ClusterServer::stats() const {
+  ClusterSnapshot snap;
+  Router::Snapshot route;
+  // started_ (atomic) is flipped after router_ is assigned, so gating on it
+  // keeps a stats() poll racing start() off the half-built pointer.
+  if (started_) route = router_->snapshot();
+  snap.stolen_groups = route.stolen;
+
+  std::vector<StatsSnapshot> parts;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    DeviceSnapshot d;
+    d.name = devices_[i]->name();
+    d.spec_name = devices_[i]->config().spec.name;
+    d.stats = devices_[i]->stats();
+    if (i < route.placements.size()) d.placements = route.placements[i];
+    parts.push_back(d.stats);
+    snap.devices.push_back(std::move(d));
+  }
+
+  snap.fleet = merge_snapshots(parts);
+  // Front-door truth overrides the merge: devices never see submissions or
+  // rejections, and the fleet clock starts at cluster start().
+  const StatsSnapshot front = stats_.snapshot();
+  snap.fleet.submitted = front.submitted;
+  snap.fleet.rejected = front.rejected;
+  snap.fleet.wall_seconds = front.wall_seconds;
+  snap.fleet.throughput_rps =
+      front.wall_seconds > 0
+          ? static_cast<double>(snap.fleet.completed) / front.wall_seconds
+          : 0;
+  snap.fleet.queue_depth = queue_.depth();
+  snap.fleet.max_queue_depth = front.max_queue_depth;
+  return snap;
+}
+
+const Router& ClusterServer::router() const {
+  CB_CHECK_MSG(router_ != nullptr, "router exists only after start()");
+  return *router_;
+}
+
+const ServedModel& ClusterServer::model(const std::string& name) const {
+  const auto it = models_.find(name);
+  CB_CHECK_MSG(it != models_.end(), "unknown served model '" << name << "'");
+  return it->second;
+}
+
+}  // namespace convbound

@@ -1,0 +1,58 @@
+#include "convbound/cluster/device.hpp"
+
+#include "convbound/util/check.hpp"
+
+namespace convbound {
+
+ClusterDevice::ClusterDevice(const std::map<std::string, ServedModel>& models,
+                             DeviceConfig config,
+                             const EngineOptions& engine_opts)
+    : config_(std::move(config)),
+      engine_(models,
+              [&] {
+                EngineOptions e = engine_opts;
+                e.machine = config_.spec;
+                e.replicas = config_.effective_replicas();
+                return e;
+              }(),
+              &stats_) {
+  CB_CHECK_MSG(config_.workers >= 1, "device workers must be >= 1");
+  if (config_.name.empty()) config_.name = config_.spec.name;
+}
+
+void ClusterDevice::start() {
+  CB_CHECK_MSG(pool_ == nullptr, "device already started");
+  engine_.warm();
+  stats_.mark_start();
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(config_.workers));
+}
+
+void ClusterDevice::drain() { pool_.reset(); }
+
+void ClusterDevice::enqueue(std::vector<PendingRequest> group,
+                            const std::string& model,
+                            std::function<void()> on_done) {
+  CB_CHECK_MSG(pool_ != nullptr, "device not started");
+  (void)pool_->submit(
+      [this, g = std::move(group), model, done = std::move(on_done)]() mutable {
+        // RAII: the Router reservation must return even if execute_batch
+        // has a defect (the task future is discarded, so a leak would
+        // silently shrink the device's capacity until the fleet deadlocks).
+        struct Done {
+          std::function<void()>* fn;
+          ~Done() {
+            if (*fn) (*fn)();
+          }
+        } run_done{&done};
+        engine_.execute_batch(std::move(g), model);
+      });
+}
+
+StatsSnapshot ClusterDevice::stats() const {
+  StatsSnapshot s = stats_.snapshot();
+  engine_.fill_stats(s);
+  return s;
+}
+
+}  // namespace convbound

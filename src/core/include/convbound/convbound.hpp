@@ -14,6 +14,7 @@
 #include "convbound/bounds/composite.hpp"
 #include "convbound/bounds/conv_bounds.hpp"
 #include "convbound/bounds/matmul_bounds.hpp"
+#include "convbound/cluster/cluster.hpp"
 #include "convbound/conv/algorithms.hpp"
 #include "convbound/conv/reference.hpp"
 #include "convbound/fft/fft.hpp"

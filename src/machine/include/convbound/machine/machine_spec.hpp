@@ -40,7 +40,23 @@ struct MachineSpec {
   static MachineSpec gfx906();     // AMD Vega 20 (MIOpen platform)
   /// Tiny machine for unit tests (2 SMs, 4 KiB shared memory).
   static MachineSpec test_machine();
+
+  // Synthetic heterogeneous-fleet presets. The evaluation GPUs all sit
+  // within ~2x of each other in flops:bandwidth ratio; these two are pushed
+  // to opposite corners so a cluster mixing them has genuinely different
+  // best devices per workload — bandwidth-bound layers want `hbm`,
+  // compute-bound layers want `dense` (the fig13 arch-sensitivity effect,
+  // made extreme on purpose). Both use the same modest SM count so they
+  // fill at test/bench problem scales and occupancy effects cancel: the
+  // contrast is purely bandwidth vs flops.
+  static MachineSpec bandwidth_optimized();  // "hbm": fat HBM, modest ALUs
+  static MachineSpec compute_optimized();    // "dense": fat ALUs, thin bus
 };
+
+/// Preset lookup by short name: 1080ti|titanx|v100|gfx906|hbm|dense|test.
+/// Throws on an unknown name (the message lists the valid ones). One
+/// registry shared by the CLI, the cluster layer, and the benches.
+MachineSpec spec_by_name(const std::string& name);
 
 /// Resource footprint of one kernel launch, used by the timing model.
 struct LaunchConfig {

@@ -48,6 +48,42 @@ MachineSpec MachineSpec::gfx906() {
   return s;
 }
 
+MachineSpec MachineSpec::bandwidth_optimized() {
+  MachineSpec s;
+  s.name = "HBM-fat (bandwidth-optimized)";
+  s.num_sms = 24;
+  s.shared_mem_per_sm = 128 * 1024;
+  s.global_bw = 3200e9;
+  s.peak_flops = 8e12;
+  s.launch_overhead = 1e-6;
+  return s;
+}
+
+MachineSpec MachineSpec::compute_optimized() {
+  MachineSpec s;
+  s.name = "DenseCompute (flop-optimized)";
+  s.num_sms = 24;
+  s.shared_mem_per_sm = 64 * 1024;
+  s.global_bw = 450e9;
+  s.peak_flops = 40e12;
+  s.launch_overhead = 1e-6;
+  return s;
+}
+
+MachineSpec spec_by_name(const std::string& name) {
+  if (name == "1080ti") return MachineSpec::gtx1080ti();
+  if (name == "titanx") return MachineSpec::titan_x();
+  if (name == "v100") return MachineSpec::v100();
+  if (name == "gfx906") return MachineSpec::gfx906();
+  if (name == "hbm") return MachineSpec::bandwidth_optimized();
+  if (name == "dense") return MachineSpec::compute_optimized();
+  if (name == "test") return MachineSpec::test_machine();
+  CB_CHECK_MSG(false, "unknown machine '"
+                          << name
+                          << "' (1080ti|titanx|v100|gfx906|hbm|dense|test)");
+  return {};
+}
+
 MachineSpec MachineSpec::test_machine() {
   MachineSpec s;
   s.name = "test machine";

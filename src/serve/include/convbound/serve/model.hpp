@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "convbound/nets/models.hpp"
+#include "convbound/serve/request.hpp"
 #include "convbound/tensor/tensor.hpp"
 
 namespace convbound {
@@ -68,6 +70,18 @@ void adapt_activation(const Tensor4<float>& prev, Tensor4<float>& out);
 /// Deterministic single-image request input, [1, cin, hin, win].
 Tensor4<float> make_request_input(const ServedModel& model,
                                   std::uint64_t seed);
+
+/// Indexes a model list by name, rejecting empty lists and duplicate
+/// names. Shared by the single-device server and the cluster front door.
+std::map<std::string, ServedModel> index_models(
+    std::vector<ServedModel> models);
+
+/// Looks up `request.model` in `models` and CB_CHECKs the input geometry
+/// ([1, cin, hin, win] NCHW). Shared by the single-device server and the
+/// cluster front door, so both reject malformed requests identically.
+const ServedModel& validate_request(
+    const std::map<std::string, ServedModel>& models,
+    const InferRequest& request);
 
 /// Single-threaded oracle: runs the pipeline on `input` (any batch size)
 /// with conv2d_ref for every layer and the same adapter chain the server

@@ -1,20 +1,29 @@
 // Dynamic micro-batching scheduler.
 //
-// One thread watches the queue's oldest request, then collects up to that
-// model's bucket of same-model requests, waiting at most `max_delay` past
-// the oldest arrival before dispatching a partial group — the classic
-// max-batch/max-delay policy. Head-of-line batching is deliberate: the
-// window is bounded by max_delay, after which the next model's group is
-// formed immediately.
+// One thread watches the queue's oldest request, reserves a placement for
+// it, then collects up to the placement's bucket of same-model requests,
+// waiting at most `max_delay` past the oldest arrival before dispatching a
+// partial group — the classic max-batch/max-delay policy. Head-of-line
+// batching is deliberate: the window is bounded by max_delay, after which
+// the next model's group is formed immediately.
 //
-// Groups are formed as late as possible: the optional `wait_slot` hook
-// blocks until an executor is free *before* the group is collected, so
-// under saturation the backlog pools in the request queue (where it keeps
-// batching up and counts toward backpressure) instead of fragmenting into
-// partial groups queued behind busy workers.
+// Groups are formed as late as possible: `reserve` blocks until an executor
+// can accept the group *before* the group is collected, so under saturation
+// the backlog pools in the request queue (where it keeps batching up and
+// counts toward backpressure) instead of fragmenting into partial groups
+// queued behind busy workers.
+//
+// Placement is what generalizes this scheduler across serving tiers: the
+// single-device InferenceServer reserves one of its executor slots and
+// returns its own bucket for the model, while the cluster layer's Router
+// picks the device with the best predicted completion and returns *that
+// device's* bucket (buckets are per-MachineSpec). The scheduler itself is
+// placement-agnostic; it only promises to hand the reserved placement back
+// unchanged in `dispatch`.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <thread>
@@ -24,25 +33,32 @@
 
 namespace convbound {
 
+/// Where (and at what max group size) a group will execute. `device` is an
+/// owner-defined token — always 0 for the single-device server, a fleet
+/// index for the cluster.
+struct Placement {
+  std::int64_t bucket = 1;
+  int device = 0;
+};
+
 class BatchScheduler {
  public:
-  /// `bucket_of` maps a model name to its micro-batch bucket; `dispatch`
-  /// receives each non-empty group (called on the scheduler thread — hand
-  /// off to workers quickly).
-  using BucketOf = std::function<std::int64_t(const std::string&)>;
-  using Dispatch =
-      std::function<void(std::vector<PendingRequest>, const std::string&)>;
-  /// Blocks until an executor slot is free (may be empty).
-  using WaitSlot = std::function<void()>;
+  /// Blocks until an executor can take a group of `model`, and returns the
+  /// placement (max group size + device token). Called on the scheduler
+  /// thread before each group is collected.
+  using Reserve = std::function<Placement(const std::string&)>;
+  /// Receives each non-empty group with its reserved placement (called on
+  /// the scheduler thread — hand off to workers quickly). The dispatcher
+  /// owns the reservation and must release it even for empty groups.
+  using Dispatch = std::function<void(std::vector<PendingRequest>,
+                                      const std::string&, const Placement&)>;
 
   BatchScheduler(RequestQueue& queue, std::chrono::microseconds max_delay,
-                 BucketOf bucket_of, Dispatch dispatch,
-                 WaitSlot wait_slot = {})
+                 Reserve reserve, Dispatch dispatch)
       : queue_(queue),
         max_delay_(max_delay),
-        bucket_of_(std::move(bucket_of)),
-        dispatch_(std::move(dispatch)),
-        wait_slot_(std::move(wait_slot)) {}
+        reserve_(std::move(reserve)),
+        dispatch_(std::move(dispatch)) {}
   ~BatchScheduler() { join(); }
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -57,9 +73,8 @@ class BatchScheduler {
 
   RequestQueue& queue_;
   std::chrono::microseconds max_delay_;
-  BucketOf bucket_of_;
+  Reserve reserve_;
   Dispatch dispatch_;
-  WaitSlot wait_slot_;
   std::thread thread_;
 };
 

@@ -4,10 +4,16 @@
 //                         (bounded,         (same-model          workers
 //                          backpressure)     groups, bound-        │
 //                                            guided bucket,        ▼
-//                                            max-delay window)  SessionPool
+//                                            max-delay window)  ServeEngine
 //                                                               (warm plans +
 //                                                                workspaces per
 //                                                                model×bucket)
+//
+// The execution half (bucket choice, planners, warm sessions, batch
+// execution) lives in ServeEngine and is shared with the cluster layer
+// (src/cluster), which runs one engine per heterogeneous device behind a
+// bound-aware Router. This class is the single-device composition: one
+// engine, one queue, one scheduler, `workers` executor slots.
 //
 // Planning, tuning, and workspace growth all happen in start(); the
 // steady-state serving path performs zero planning and zero workspace
@@ -26,10 +32,10 @@
 #include "convbound/machine/machine_spec.hpp"
 #include "convbound/plan/planner.hpp"
 #include "convbound/serve/batch_policy.hpp"
+#include "convbound/serve/engine.hpp"
 #include "convbound/serve/model.hpp"
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/scheduler.hpp"
-#include "convbound/serve/session_pool.hpp"
 #include "convbound/serve/stats.hpp"
 #include "convbound/util/thread_pool.hpp"
 
@@ -55,6 +61,19 @@ struct ServerOptions {
   PlanMode plan_mode = PlanMode::kMeasured;
   int tune_budget = 16;
   std::uint64_t seed = 42;
+
+  /// The execution-side subset, as the engine wants it.
+  EngineOptions engine_options() const {
+    EngineOptions e;
+    e.machine = machine;
+    e.replicas = replicas;
+    e.force_bucket = force_bucket;
+    e.policy = policy;
+    e.plan_mode = plan_mode;
+    e.tune_budget = tune_budget;
+    e.seed = seed;
+    return e;
+  }
 };
 
 class InferenceServer {
@@ -83,51 +102,39 @@ class InferenceServer {
 
   const ServedModel& model(const std::string& name) const;
   /// The scored bucket candidates behind `name`'s chosen bucket.
-  const BucketChoice& bucket_choice(const std::string& name) const;
+  const BucketChoice& bucket_choice(const std::string& name) const {
+    return engine_.bucket_choice(name);
+  }
   /// The scheduler's max group size for `name` (the chosen bucket).
-  std::int64_t bucket_of(const std::string& name) const;
+  std::int64_t bucket_of(const std::string& name) const {
+    return engine_.bucket_of(name);
+  }
   /// Warm session buckets for `name`: powers of two up to the chosen
-  /// bucket. A partial group executes at the smallest covering bucket, so
-  /// padding waste is at most 2x instead of chosen-bucket x.
-  const std::vector<std::int64_t>& exec_buckets(const std::string& name) const;
+  /// bucket.
+  const std::vector<std::int64_t>& exec_buckets(
+      const std::string& name) const {
+    return engine_.exec_buckets(name);
+  }
   const ServerOptions& options() const { return opts_; }
-  TuneCache& tune_cache() { return cache_; }
+  TuneCache& tune_cache() { return engine_.tune_cache(); }
 
  private:
-  void execute_batch(std::vector<PendingRequest> group,
-                     const std::string& model_name);
-
   /// Executor-slot gate: the scheduler blocks here before forming a group,
   /// so batching happens as late as possible and saturation backlog pools
   /// in the request queue.
   void wait_for_slot();
   void release_slot();
 
-  /// Total memoised plans across the per-model planners.
-  std::size_t plans_memoised() const;
-
   ServerOptions opts_;
   std::map<std::string, ServedModel> models_;
-  std::map<std::string, BucketChoice> buckets_;
-  std::map<std::string, std::vector<std::int64_t>> exec_buckets_;
-  TuneCache cache_;
-  /// One shared thread-safe Planner per model (its memo keys include the
-  /// batch size, so the whole bucket ladder plans each geometry once).
-  /// Declared before sessions_: sessions hold pointers into this map.
-  /// planners_mu_ guards the map itself (and warm_plans_) so a stats()
-  /// poll racing start()'s emplaces is safe; the Planners inside are
-  /// individually thread-safe.
-  mutable std::mutex planners_mu_;
-  std::map<std::string, Planner> planners_;
-  RequestQueue queue_;
-  SessionPool sessions_;
   ServerStats stats_;
+  ServeEngine engine_;
+  RequestQueue queue_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::unique_ptr<ThreadPool> workers_;
   std::mutex slots_mu_;
   std::condition_variable slots_cv_;
   int free_slots_ = 0;
-  std::size_t warm_plans_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 };

@@ -57,6 +57,18 @@ struct StatsSnapshot {
   std::uint64_t workspace_bytes = 0;
 };
 
+/// Fleet-wide view of per-device snapshots, treating the parts as devices
+/// running *in parallel* (the cluster layer's semantics):
+///   - counters, sim_seconds, histograms, and memo/workspace sizes sum;
+///   - wall_seconds and queue depths take the max;
+///   - modelled_rps = total completed / max part sim_seconds — the
+///     makespan figure: at saturation the busiest device's modelled time is
+///     when the fleet finishes;
+///   - latency percentiles are completed-weighted means of the parts'
+///     percentiles (an approximation — exact fleet percentiles would need
+///     the raw reservoirs), max/mean are exact.
+StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts);
+
 class ServerStats {
  public:
   void mark_start();

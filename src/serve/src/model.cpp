@@ -94,6 +94,35 @@ Tensor4<float> make_request_input(const ServedModel& model,
   return in;
 }
 
+std::map<std::string, ServedModel> index_models(
+    std::vector<ServedModel> models) {
+  CB_CHECK_MSG(!models.empty(), "serving needs at least one model");
+  std::map<std::string, ServedModel> out;
+  for (auto& m : models) {
+    const std::string name = m.name;
+    CB_CHECK_MSG(out.emplace(name, std::move(m)).second,
+                 "duplicate served model '" << name << "'");
+  }
+  return out;
+}
+
+const ServedModel& validate_request(
+    const std::map<std::string, ServedModel>& models,
+    const InferRequest& request) {
+  const auto it = models.find(request.model);
+  CB_CHECK_MSG(it != models.end(),
+               "unknown served model '" << request.model << "'");
+  const ServedModel& m = it->second;
+  CB_CHECK_MSG(request.input.n() == 1 && request.input.c() == m.input_c() &&
+                   request.input.h() == m.input_h() &&
+                   request.input.w() == m.input_w() &&
+                   request.input.layout() == Layout::kNCHW,
+               "request input must be [1, " << m.input_c() << ", "
+                                            << m.input_h() << ", "
+                                            << m.input_w() << "] NCHW");
+  return m;
+}
+
 Tensor4<float> reference_run(const ServedModel& model,
                              const Tensor4<float>& input) {
   CB_CHECK_MSG(input.c() == model.input_c() && input.h() == model.input_h() &&

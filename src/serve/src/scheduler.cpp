@@ -17,16 +17,17 @@ void BatchScheduler::loop() {
   std::string model;
   ServeTimePoint enqueued;
   while (queue_.wait_front(&model, &enqueued)) {
-    // Gate before collecting: only this thread removes from the queue, so
-    // the oldest entry (and its arrival time) is stable across the wait,
-    // and any backlog built up meanwhile fattens the group.
-    if (wait_slot_) wait_slot_();
-    const std::int64_t bucket = bucket_of_(model);
+    // Reserve before collecting: only this thread removes from the queue,
+    // so the oldest entry (and its arrival time) is stable across the wait,
+    // and any backlog built up meanwhile fattens the group. The placement's
+    // bucket is the reserved executor's — per-device buckets differ.
+    const Placement placement = reserve_(model);
     std::vector<PendingRequest> group = queue_.collect(
-        model, static_cast<std::size_t>(bucket), enqueued + max_delay_);
+        model, static_cast<std::size_t>(placement.bucket),
+        enqueued + max_delay_);
     // Dispatch even a (theoretically) empty group: the dispatcher owns the
-    // executor slot taken above and must return it.
-    dispatch_(std::move(group), model);
+    // reservation taken above and must return it.
+    dispatch_(std::move(group), model, placement);
   }
 }
 

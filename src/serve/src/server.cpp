@@ -6,101 +6,32 @@
 
 namespace convbound {
 
-namespace {
-
-double seconds_between(ServeTimePoint from, ServeTimePoint to) {
-  return std::chrono::duration<double>(to - from).count();
-}
-
-}  // namespace
-
 InferenceServer::InferenceServer(std::vector<ServedModel> models,
                                  ServerOptions opts)
-    : opts_(std::move(opts)), queue_(opts_.max_queue) {
-  CB_CHECK_MSG(!models.empty(), "server needs at least one model");
-  CB_CHECK_MSG(opts_.workers >= 1 && opts_.replicas >= 1,
-               "workers and replicas must be >= 1");
-  for (auto& m : models) {
-    const std::string name = m.name;
-    CB_CHECK_MSG(models_.emplace(name, std::move(m)).second,
-                 "duplicate served model '" << name << "'");
-  }
+    : opts_(std::move(opts)),
+      models_(index_models(std::move(models))),
+      engine_(models_, opts_.engine_options(), &stats_),
+      queue_(opts_.max_queue) {
+  CB_CHECK_MSG(opts_.workers >= 1, "workers must be >= 1");
 }
 
 InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::start() {
   CB_CHECK_MSG(!started_, "server already started");
-  PlannerOptions popts;
-  popts.mode = opts_.plan_mode;
-  popts.candidates = CandidateSet::kOurs;
-  popts.tune_budget = opts_.tune_budget;
-  popts.seed = opts_.seed;
-
-  // Sessions are constructed serially (cheap), then warmed in parallel —
-  // planner, tune cache, and per-session workspaces are all safe under
-  // concurrent warm(), so startup scales with cores instead of with
-  // models x buckets x replicas.
-  std::vector<std::unique_ptr<ServeSession>> fresh;
-  for (auto& [name, model] : models_) {
-    // Bound-guided bucket choice; the full candidate scoring is kept for
-    // reporting even when the bucket is forced.
-    BucketChoice choice =
-        choose_batch_bucket(model, opts_.machine, opts_.policy);
-    if (opts_.force_bucket > 0) {
-      choice.bucket = opts_.force_bucket;
-      bool scored = false;
-      for (const auto& s : choice.scores)
-        scored = scored || s.bucket == choice.bucket;
-      // An off-ladder forced bucket (e.g. 3) gets a real analytic score so
-      // reporting still shows what was chosen and what it costs.
-      if (!scored)
-        choice.scores.push_back(score_batch_bucket(model, opts_.machine,
-                                                   choice.bucket,
-                                                   opts_.policy));
-      for (auto& s : choice.scores) s.chosen = s.bucket == choice.bucket;
-    }
-    buckets_.emplace(name, std::move(choice));
-
-    // Warm one session ladder per replica: powers of two up to the chosen
-    // bucket (plus the chosen bucket itself when forced off-ladder), so a
-    // partial group runs at the smallest covering bucket.
-    std::vector<std::int64_t> ladder;
-    for (std::int64_t b = 1; b < buckets_.at(name).bucket; b *= 2)
-      ladder.push_back(b);
-    ladder.push_back(buckets_.at(name).bucket);
-    exec_buckets_.emplace(name, ladder);
-
-    Planner* planner = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(planners_mu_);
-      planner = &planners_
-                     .emplace(std::piecewise_construct,
-                              std::forward_as_tuple(name),
-                              std::forward_as_tuple(&cache_))
-                     .first->second;  // map nodes are stable after unlock
-    }
-    for (std::int64_t b : ladder)
-      for (int r = 0; r < opts_.replicas; ++r)
-        fresh.push_back(std::make_unique<ServeSession>(
-            model, b, opts_.machine, *planner, popts));
-  }
-  ThreadPool::global().parallel_for(
-      0, fresh.size(), [&](std::size_t i) { fresh[i]->warm(); });
-  for (auto& session : fresh) sessions_.add(std::move(session));
-  {
-    const std::size_t warm = plans_memoised();
-    std::lock_guard<std::mutex> lock(planners_mu_);
-    warm_plans_ = warm;
-  }
+  engine_.warm();
 
   workers_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(opts_.workers));
   free_slots_ = opts_.workers;
   scheduler_ = std::make_unique<BatchScheduler>(
       queue_, opts_.max_delay,
-      [this](const std::string& m) { return bucket_of(m); },
-      [this](std::vector<PendingRequest> group, const std::string& m) {
+      [this](const std::string& m) {
+        wait_for_slot();
+        return Placement{engine_.bucket_of(m), 0};
+      },
+      [this](std::vector<PendingRequest> group, const std::string& m,
+             const Placement&) {
         (void)workers_->submit(
             [this, g = std::move(group), m]() mutable {
               // RAII: the slot must return even if execute_batch throws
@@ -110,10 +41,9 @@ void InferenceServer::start() {
                 InferenceServer* server;
                 ~SlotReturn() { server->release_slot(); }
               } slot_return{this};
-              execute_batch(std::move(g), m);
+              engine_.execute_batch(std::move(g), m);
             });
-      },
-      [this] { wait_for_slot(); });
+      });
   stats_.mark_start();
   started_ = true;
   scheduler_->start();
@@ -136,14 +66,7 @@ void InferenceServer::stop() {
 }
 
 std::future<InferResponse> InferenceServer::submit(InferRequest request) {
-  const ServedModel& m = model(request.model);
-  CB_CHECK_MSG(request.input.n() == 1 && request.input.c() == m.input_c() &&
-                   request.input.h() == m.input_h() &&
-                   request.input.w() == m.input_w() &&
-                   request.input.layout() == Layout::kNCHW,
-               "request input must be [1, " << m.input_c() << ", "
-                                            << m.input_h() << ", "
-                                            << m.input_w() << "] NCHW");
+  validate_request(models_, request);
   PendingRequest p;
   p.request = std::move(request);
   p.enqueued = ServeClock::now();
@@ -173,106 +96,6 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
   return fut;
 }
 
-void InferenceServer::execute_batch(std::vector<PendingRequest> group,
-                                    const std::string& model_name) {
-  // Complete every not-yet-completed promise with kError; promises that
-  // were already satisfied before a mid-loop throw are skipped.
-  std::vector<PendingRequest> live;
-  const auto fail_batch = [&](const char* what) {
-    stats_.record_failed(live.size());
-    for (auto& p : live) {
-      InferResponse r;
-      r.status = ServeStatus::kError;
-      r.error = what;
-      try {
-        p.promise.set_value(std::move(r));
-      } catch (const std::future_error&) {
-      }
-    }
-  };
-
-  try {
-    const ServeTimePoint now = ServeClock::now();
-    live.reserve(group.size());
-    for (auto& p : group) {
-      if (p.request.deadline < now) {
-        InferResponse r;
-        r.status = ServeStatus::kDeadlineExceeded;
-        r.latency_seconds = seconds_between(p.enqueued, now);
-        // Record before completing: a client that sees its future resolve
-        // must also see the stats reflect it.
-        stats_.record_expired(1);
-        p.promise.set_value(std::move(r));
-      } else {
-        live.push_back(std::move(p));
-      }
-    }
-    if (live.empty()) return;
-
-    // Smallest warm bucket covering the group (the ladder ends at the
-    // scheduler's max group size, so one always exists).
-    const std::vector<std::int64_t>& ladder = exec_buckets(model_name);
-    std::int64_t bucket = ladder.back();
-    for (std::int64_t b : ladder) {
-      if (b >= static_cast<std::int64_t>(live.size())) {
-        bucket = b;
-        break;
-      }
-    }
-    SessionPool::Guard session = sessions_.acquire(model_name, bucket);
-    const ServedModel& m = session->model();
-    const std::int64_t lane_elems =
-        m.input_c() * m.input_h() * m.input_w();
-
-    Workspace::Lease in = session->workspace().acquire(
-        bucket, m.input_c(), m.input_h(), m.input_w());
-    Tensor4<float>& batch = in.tensor();
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      const Tensor4<float>& src = live[i].request.input;
-      std::copy(src.data(), src.data() + lane_elems,
-                batch.data() + static_cast<std::int64_t>(i) * lane_elems);
-    }
-    // Padded lanes cannot influence live lanes (conv algorithms process
-    // batch lanes independently); zero them anyway so every execution of a
-    // partial group is bit-reproducible.
-    std::fill(batch.data() +
-                  static_cast<std::int64_t>(live.size()) * lane_elems,
-              batch.data() + batch.size(), 0.0f);
-
-    ServeSession::BatchResult res = session->run(batch);
-    const Tensor4<float>& out = res.output.tensor();
-    const std::int64_t out_lane = out.c() * out.h() * out.w();
-    const ServeTimePoint done = ServeClock::now();
-
-    std::vector<InferResponse> responses;
-    std::vector<double> latencies;
-    responses.reserve(live.size());
-    latencies.reserve(live.size());
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      InferResponse r;
-      r.status = ServeStatus::kOk;
-      r.output = Tensor4<float>(1, out.c(), out.h(), out.w());
-      std::copy(out.data() + static_cast<std::int64_t>(i) * out_lane,
-                out.data() + static_cast<std::int64_t>(i + 1) * out_lane,
-                r.output.data());
-      r.latency_seconds = seconds_between(live[i].enqueued, done);
-      r.batch_size = static_cast<int>(live.size());
-      r.batch_sim_seconds = res.stats.sim_time;
-      latencies.push_back(r.latency_seconds);
-      responses.push_back(std::move(r));
-    }
-    // Record before completing any promise: a client that sees its future
-    // resolve must also see the stats reflect the whole batch.
-    stats_.record_batch(live.size(), res.stats.sim_time, latencies);
-    for (std::size_t i = 0; i < live.size(); ++i)
-      live[i].promise.set_value(std::move(responses[i]));
-  } catch (const std::exception& e) {
-    fail_batch(e.what());
-  } catch (...) {
-    fail_batch("unknown execution error");
-  }
-}
-
 void InferenceServer::wait_for_slot() {
   std::unique_lock<std::mutex> lock(slots_mu_);
   slots_cv_.wait(lock, [this] { return free_slots_ > 0; });
@@ -287,53 +110,16 @@ void InferenceServer::release_slot() {
   slots_cv_.notify_one();
 }
 
-std::size_t InferenceServer::plans_memoised() const {
-  std::lock_guard<std::mutex> lock(planners_mu_);
-  std::size_t n = 0;
-  for (const auto& [name, planner] : planners_) n += planner.plans_memoised();
-  return n;
-}
-
 StatsSnapshot InferenceServer::stats() const {
   StatsSnapshot s = stats_.snapshot();
   s.queue_depth = queue_.depth();
-  s.plans_memoised = plans_memoised();
-  std::size_t warm_plans = 0;
-  {
-    std::lock_guard<std::mutex> lock(planners_mu_);
-    warm_plans = warm_plans_;
-  }
-  if (started_ && s.plans_memoised >= warm_plans)
-    s.plan_misses_after_warm = s.plans_memoised - warm_plans;
-  s.workspace_buffers = sessions_.workspace_buffers();
-  s.workspace_bytes = sessions_.workspace_bytes();
+  engine_.fill_stats(s);
   return s;
 }
 
 const ServedModel& InferenceServer::model(const std::string& name) const {
   const auto it = models_.find(name);
   CB_CHECK_MSG(it != models_.end(), "unknown served model '" << name << "'");
-  return it->second;
-}
-
-const BucketChoice& InferenceServer::bucket_choice(
-    const std::string& name) const {
-  const auto it = buckets_.find(name);
-  CB_CHECK_MSG(it != buckets_.end(),
-               "no bucket for '" << name << "' (server not started)");
-  return it->second;
-}
-
-std::int64_t InferenceServer::bucket_of(const std::string& name) const {
-  return bucket_choice(name).bucket;
-}
-
-const std::vector<std::int64_t>& InferenceServer::exec_buckets(
-    const std::string& name) const {
-  const auto it = exec_buckets_.find(name);
-  CB_CHECK_MSG(it != exec_buckets_.end(),
-               "no session ladder for '" << name
-                                         << "' (server not started)");
   return it->second;
 }
 

@@ -17,6 +17,59 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
+StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
+  StatsSnapshot s;
+  std::map<int, std::uint64_t> histogram;
+  double latency_weighted[3] = {0, 0, 0};
+  double makespan = 0;
+  double latency_mean_weighted = 0;
+  for (const StatsSnapshot& p : parts) {
+    s.submitted += p.submitted;
+    s.completed += p.completed;
+    s.rejected += p.rejected;
+    s.expired += p.expired;
+    s.failed += p.failed;
+    s.batches += p.batches;
+    s.sim_seconds += p.sim_seconds;
+    s.wall_seconds = std::max(s.wall_seconds, p.wall_seconds);
+    s.queue_depth = std::max(s.queue_depth, p.queue_depth);
+    s.max_queue_depth = std::max(s.max_queue_depth, p.max_queue_depth);
+    s.latency_max = std::max(s.latency_max, p.latency_max);
+    s.plans_memoised += p.plans_memoised;
+    s.plan_misses_after_warm += p.plan_misses_after_warm;
+    s.workspace_buffers += p.workspace_buffers;
+    s.workspace_bytes += p.workspace_bytes;
+    makespan = std::max(makespan, p.sim_seconds);
+    const double w = static_cast<double>(p.completed);
+    latency_weighted[0] += w * p.latency_p50;
+    latency_weighted[1] += w * p.latency_p95;
+    latency_weighted[2] += w * p.latency_p99;
+    latency_mean_weighted += w * p.latency_mean;
+    for (const auto& [size, count] : p.batch_histogram)
+      histogram[size] += count;
+  }
+  if (s.completed > 0) {
+    const double w = static_cast<double>(s.completed);
+    s.latency_p50 = latency_weighted[0] / w;
+    s.latency_p95 = latency_weighted[1] / w;
+    s.latency_p99 = latency_weighted[2] / w;
+    s.latency_mean = latency_mean_weighted / w;
+  }
+  if (s.wall_seconds > 0)
+    s.throughput_rps = static_cast<double>(s.completed) / s.wall_seconds;
+  if (makespan > 0)
+    s.modelled_rps = static_cast<double>(s.completed) / makespan;
+  std::uint64_t grouped = 0;
+  for (const auto& [size, count] : histogram) {
+    s.batch_histogram.emplace_back(size, count);
+    grouped += static_cast<std::uint64_t>(size) * count;
+  }
+  if (s.batches > 0)
+    s.mean_batch_size =
+        static_cast<double>(grouped) / static_cast<double>(s.batches);
+  return s;
+}
+
 void ServerStats::mark_start() {
   std::lock_guard<std::mutex> lock(mu_);
   start_ = ServeClock::now();

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "convbound/cluster/cluster.hpp"
+#include "convbound/serve/model.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound {
+namespace {
+
+// Workload pair at the two corners of the roofline: "compute" has high
+// arithmetic intensity (5x5 kernel, many channels relative to its image;
+// stride 2 keeps Winograd — which would slash the flop count — out of the
+// candidate set), "wide" is bandwidth-bound (1x1, few channels, large
+// image — almost no data reuse). On a fleet mixing a flop-optimized and a
+// bandwidth-optimized spec, the cost model must send each to its corner.
+ServedModel compute_heavy_model() {
+  ConvShape s;
+  s.cin = s.cout = 48;
+  s.hin = s.win = 15;
+  s.kh = s.kw = 5;
+  s.stride = 2;
+  s.pad = 2;
+  s.validate();
+  return make_served_model("compute", {{"c0", s}}, {});
+}
+
+ServedModel bandwidth_bound_model() {
+  ConvShape s;
+  s.cin = s.cout = 16;
+  s.hin = s.win = 128;
+  s.kh = s.kw = 1;
+  s.pad = 0;
+  s.validate();
+  return make_served_model("wide", {{"w0", s}}, {});
+}
+
+// At the tests' scale, with max_bucket 4 (probed via Planner::enumerate in
+// kMeasured mode — the predictions the cluster routes on):
+//   compute on dense  9.8us/batch  vs on hbm 12.1us  -> dense preferred
+//   wide    on hbm    5.2us/batch  vs on dense 20.2us -> hbm preferred
+
+// Small pipelines with randomized geometries (fixed seed), as in
+// serve_test: strided, grouped, and Winograd-eligible layers all appear,
+// so every device's serving path exercises every dataflow family.
+std::vector<ServedModel> tiny_models() {
+  Rng rng(20260727);
+  std::vector<ServedModel> models;
+  for (int m = 0; m < 3; ++m) {
+    std::vector<ConvLayer> layers;
+    const int depth = 2 + m % 2;
+    for (int l = 0; l < depth; ++l) {
+      ConvShape s;
+      s.cin = 2 * rng.range(1, 3);
+      s.cout = 2 * rng.range(1, 3);
+      s.hin = s.win = rng.range(8, 14);
+      s.kh = s.kw = 3;
+      s.stride = (m == 1 && l == 0) ? 2 : 1;
+      s.pad = 1;
+      if (m == 2 && l == 0) {  // grouped head
+        s.cin = s.cout = 4;
+        s.groups = 2;
+      }
+      s.validate();
+      layers.push_back({"m" + std::to_string(m) + "_l" + std::to_string(l), s});
+    }
+    models.push_back(
+        make_served_model("tiny" + std::to_string(m), layers, {}));
+  }
+  return models;
+}
+
+DeviceConfig device_of(const MachineSpec& spec, int workers = 2) {
+  DeviceConfig d;
+  d.spec = spec;
+  d.workers = workers;
+  return d;
+}
+
+ClusterOptions hetero_options() {
+  ClusterOptions opts;
+  opts.devices = {device_of(MachineSpec::v100()),
+                  device_of(MachineSpec::bandwidth_optimized()),
+                  device_of(MachineSpec::compute_optimized())};
+  opts.max_queue = 1024;
+  opts.max_delay = std::chrono::microseconds(500);
+  opts.batch_policy.max_bucket = 4;
+  return opts;
+}
+
+// ------------------------------------------------------------- router ----
+
+Router::DeviceEntry entry(const std::string& name, double batch_seconds,
+                          std::int64_t bucket, int cap) {
+  Router::DeviceEntry e;
+  e.name = name;
+  e.max_pending_groups = cap;
+  Router::ModelCost c;
+  c.bucket = bucket;
+  c.batch_seconds = batch_seconds;
+  e.costs.emplace("m", c);
+  return e;
+}
+
+TEST(Router, BoundAwarePrefersPredictedFastestPerRequest) {
+  // "slow" wins on whole-batch time, "fast" wins per request thanks to its
+  // bigger bucket — the per-request figure must decide. Scores per group:
+  // slow idle (0 + 1.5)/1 = 1.5ms; fast idle (0 + 2.4)/4 = 0.6ms.
+  Router router(RoutePolicy::kBoundAware,
+                {entry("slow", 1.5e-3, 1, 4), entry("fast", 2.4e-3, 4, 4)});
+  EXPECT_EQ(router.preferred_device("m"), 1);
+
+  // Virtual-clock feedback: the fast device's accumulated predicted work
+  // eventually tips one group to the slow one, then the preference swings
+  // back — list scheduling in the proportions the cost model dictates.
+  EXPECT_EQ(router.reserve("m").device, 1);  // fast virt 2.4, score 1.2
+  EXPECT_EQ(router.reserve("m").device, 1);  // fast virt 4.8, score 1.8
+  EXPECT_EQ(router.reserve("m").device, 0);  // slow virt 1.5, score 3.0
+  EXPECT_EQ(router.reserve("m").device, 1);  // fast again (1.8 < 3.0)
+  // Host-side completions drain the liveness caps but not the virtual
+  // clocks — placement proportions must not depend on host speed.
+  router.complete(1, "m");
+  router.complete(1, "m");
+  router.complete(1, "m");
+  router.complete(0, "m");
+  const Router::Snapshot s = router.snapshot();
+  EXPECT_EQ(s.placements[0], 1u);
+  EXPECT_EQ(s.placements[1], 3u);
+  EXPECT_DOUBLE_EQ(s.virtual_seconds[0], 1.5e-3);
+  EXPECT_DOUBLE_EQ(s.virtual_seconds[1], 3 * 2.4e-3);
+  EXPECT_EQ(s.pending_groups[0], 0);
+  EXPECT_EQ(s.pending_groups[1], 0);
+}
+
+TEST(Router, WorkStealingFallbackWhenPreferredSaturates) {
+  Router router(RoutePolicy::kBoundAware,
+                {entry("fast", 1.0e-3, 1, 2), entry("slow", 8.0e-3, 1, 2)});
+  // Two reservations saturate "fast" (cap 2); the third must be stolen by
+  // "slow" even though "fast" is still preferred.
+  EXPECT_EQ(router.reserve("m").device, 0);
+  EXPECT_EQ(router.reserve("m").device, 0);
+  EXPECT_EQ(router.preferred_device("m"), 0);
+  EXPECT_EQ(router.reserve("m").device, 1);
+  const Router::Snapshot s = router.snapshot();
+  EXPECT_EQ(s.stolen, 1u);
+  EXPECT_EQ(s.placements[0], 2u);
+  EXPECT_EQ(s.placements[1], 1u);
+  router.complete(0, "m");
+  router.complete(0, "m");
+  router.complete(1, "m");
+}
+
+TEST(Router, RoundRobinIgnoresTheCostModel) {
+  Router router(RoutePolicy::kRoundRobin,
+                {entry("a", 1.0e-3, 1, 8), entry("b", 99.0, 1, 8),
+                 entry("c", 1.0e-3, 1, 8)});
+  std::vector<std::uint64_t> want = {2, 2, 2};
+  for (int i = 0; i < 6; ++i) (void)router.reserve("m");
+  EXPECT_EQ(router.snapshot().placements, want);
+  EXPECT_EQ(router.snapshot().stolen, 0u);
+  for (int i = 0; i < 2; ++i) {
+    router.complete(0, "m");
+    router.complete(1, "m");
+    router.complete(2, "m");
+  }
+}
+
+TEST(Router, PlacementCarriesTheDevicesOwnBucket) {
+  Router router(RoutePolicy::kBoundAware,
+                {entry("a", 4.0e-3, 4, 1), entry("b", 4.0e-3, 2, 1)});
+  const Placement p0 = router.reserve("m");
+  EXPECT_EQ(p0.device, 0);
+  EXPECT_EQ(p0.bucket, 4);
+  const Placement p1 = router.reserve("m");  // a saturated -> stolen by b
+  EXPECT_EQ(p1.device, 1);
+  EXPECT_EQ(p1.bucket, 2);
+  router.complete(0, "m");
+  router.complete(1, "m");
+}
+
+// -------------------------------------------- bound-aware heterogeneity ----
+
+// The satellite routing test: with a flop-optimized and a
+// bandwidth-optimized device in one fleet, the Eq 20/22 + roofline
+// predictions must route the compute-heavy model to the high-FLOP spec and
+// the bandwidth-bound model to the high-HBM spec — deterministically, from
+// the analytic cost table alone (no measurement, empty fleet).
+TEST(ClusterRouting, ComputeHeavyToDenseBandwidthBoundToHbm) {
+  ClusterOptions opts;
+  opts.devices = {device_of(MachineSpec::bandwidth_optimized(), 1),
+                  device_of(MachineSpec::compute_optimized(), 1)};
+  opts.batch_policy.max_bucket = 4;
+  ClusterServer cluster({compute_heavy_model(), bandwidth_bound_model()},
+                        opts);
+  cluster.start();
+  EXPECT_EQ(cluster.router().preferred_device("compute"), 1)
+      << "compute-heavy model must prefer the flop-optimized spec";
+  EXPECT_EQ(cluster.router().preferred_device("wide"), 0)
+      << "bandwidth-bound model must prefer the bandwidth-optimized spec";
+  cluster.stop();
+}
+
+// --------------------------------------------------- serving pipeline ----
+
+TEST(Cluster, SingleRequestMatchesReference) {
+  auto models = tiny_models();
+  ClusterServer cluster(models, hetero_options());
+  cluster.start();
+
+  const Tensor4<float> input = make_request_input(models[1], 7);
+  const InferResponse r = cluster.submit({models[1].name, input}).get();
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_GT(r.batch_size, 0);
+  EXPECT_GT(r.batch_sim_seconds, 0);
+  EXPECT_TRUE(allclose(reference_run(models[1], input), r.output, 1e-3, 1e-3));
+  cluster.stop();
+}
+
+// The satellite stress test: N client threads x M models over a
+// heterogeneous 3-device fleet; every response must match the
+// single-threaded reference whichever device served it, and each device
+// must hold the zero-plan-miss / zero-workspace-growth steady state after
+// its warmup. Runs under ASan/UBSan in CI via the ctest glob.
+TEST(Cluster, MultiThreadedStressMatchesReferenceWithZeroPlanMisses) {
+  auto models = tiny_models();
+  ClusterServer cluster(models, hetero_options());
+  cluster.start();
+
+  const ClusterSnapshot warm = cluster.stats();
+  for (const DeviceSnapshot& d : warm.devices) {
+    EXPECT_EQ(d.stats.plan_misses_after_warm, 0u) << d.name;
+    EXPECT_GT(d.stats.plans_memoised, 0u) << d.name;
+    EXPECT_GT(d.stats.workspace_buffers, 0u) << d.name;
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 12;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t seed = 1000u * c + i;
+        const ServedModel& m = models[(c + i) % models.size()];
+        const Tensor4<float> input = make_request_input(m, seed);
+        InferResponse r = cluster.submit({m.name, input}).get();
+        ASSERT_EQ(r.status, ServeStatus::kOk);
+        const Tensor4<float> expect = reference_run(m, input);
+        ASSERT_TRUE(allclose(expect, r.output, 1e-3, 1e-3))
+            << m.name << " seed=" << seed
+            << " maxdiff=" << max_abs_diff(expect, r.output);
+        ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.fleet.completed,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.fleet.rejected, 0u);
+  EXPECT_EQ(s.fleet.failed, 0u);
+  // Per-device steady state: no planning, no workspace growth past warmup.
+  ASSERT_EQ(s.devices.size(), warm.devices.size());
+  std::uint64_t placements = 0;
+  for (std::size_t i = 0; i < s.devices.size(); ++i) {
+    const DeviceSnapshot& d = s.devices[i];
+    EXPECT_EQ(d.stats.plan_misses_after_warm, 0u) << d.name;
+    EXPECT_EQ(d.stats.plans_memoised, warm.devices[i].stats.plans_memoised)
+        << d.name;
+    EXPECT_EQ(d.stats.workspace_bytes, warm.devices[i].stats.workspace_bytes)
+        << d.name;
+    placements += d.placements;
+  }
+  EXPECT_EQ(placements, s.fleet.batches);
+  // Every completed request went through some device's micro-batch.
+  std::uint64_t grouped = 0;
+  for (const auto& [size, count] : s.fleet.batch_histogram) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 4);  // max_bucket
+    grouped += static_cast<std::uint64_t>(size) * count;
+  }
+  EXPECT_EQ(grouped, s.fleet.completed);
+  cluster.stop();
+}
+
+// ------------------------------------------------ backpressure & stop ----
+
+TEST(Cluster, QueuedBeforeStartServedAfterAndShutdownAfterStop) {
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  opts.max_queue = 2;
+  ClusterServer cluster(models, opts);
+
+  const Tensor4<float> input = make_request_input(models[0], 1);
+  auto f1 = cluster.submit({models[0].name, input});
+  auto f2 = cluster.submit({models[0].name, input});
+  auto f3 = cluster.submit({models[0].name, input});
+  EXPECT_EQ(f3.get().status, ServeStatus::kRejected);  // bounded fleet queue
+
+  cluster.start();
+  EXPECT_EQ(f1.get().status, ServeStatus::kOk);
+  EXPECT_EQ(f2.get().status, ServeStatus::kOk);
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.fleet.rejected, 1u);
+  EXPECT_EQ(s.fleet.completed, 2u);
+  cluster.stop();
+
+  EXPECT_EQ(cluster.submit({models[0].name, input}).get().status,
+            ServeStatus::kShutdown);
+  EXPECT_THROW(cluster.submit({"no-such-model", Tensor4<float>(1, 1, 1, 1)}),
+               Error);
+}
+
+// ------------------------------------------------------- stats merge ----
+
+TEST(ClusterStats, MergeIsParallelSemantics) {
+  StatsSnapshot a;
+  a.completed = 30;
+  a.batches = 10;
+  a.sim_seconds = 3.0;  // busiest device: the fleet makespan
+  a.latency_p50 = 0.010;
+  a.latency_mean = 0.010;
+  a.batch_histogram = {{3, 10}};
+  StatsSnapshot b;
+  b.completed = 10;
+  b.batches = 10;
+  b.sim_seconds = 1.0;
+  b.latency_p50 = 0.002;
+  b.latency_mean = 0.002;
+  b.batch_histogram = {{1, 10}};
+
+  const StatsSnapshot m = merge_snapshots({a, b});
+  EXPECT_EQ(m.completed, 40u);
+  EXPECT_EQ(m.batches, 20u);
+  EXPECT_DOUBLE_EQ(m.sim_seconds, 4.0);
+  // Makespan figure: 40 requests done when the busiest device finishes.
+  EXPECT_DOUBLE_EQ(m.modelled_rps, 40.0 / 3.0);
+  // Completed-weighted percentile approximation.
+  EXPECT_NEAR(m.latency_p50, (30 * 0.010 + 10 * 0.002) / 40.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mean_batch_size, 2.0);
+}
+
+}  // namespace
+}  // namespace convbound

@@ -172,7 +172,9 @@ TEST(ConvConfigHash, ConsistentWithEquality) {
     ConvConfig b = a;
     EXPECT_EQ(h(a), h(b));
     b.nxt = b.nxt == 1 ? 2 : 1;
-    if (!(a == b)) EXPECT_NE(h(a), h(b));
+    if (!(a == b)) {
+      EXPECT_NE(h(a), h(b));
+    }
   }
 }
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json trajectory files.
+
+Compares a fresh smoke-scale bench run against the committed baselines in
+bench/baselines/, metric by metric, as declared in the baselines' gates.json:
+
+    {
+      "default_tolerance": 0.10,
+      "gates": [
+        {"file": "BENCH_x.json", "metric": "m", "direction": "higher"},
+        {"file": "BENCH_x.json", "metric": "n", "direction": "lower",
+         "absolute_max": 0, "tolerance": 0.35, "note": "why this band"}
+      ]
+    }
+
+Semantics per gate:
+  direction "higher"  fresh >= baseline * (1 - tolerance)   else REGRESSION
+  direction "lower"   fresh <= baseline * (1 + tolerance)   else REGRESSION
+  absolute_max        additionally: fresh <= absolute_max   else REGRESSION
+  absolute_min        additionally: fresh >= absolute_min   else REGRESSION
+
+Improvements beyond the tolerance band are reported (so baselines get
+refreshed — see docs/ci.md) but never fail the gate. Exit code: 0 when every
+gate holds, 1 on any regression, 2 on bad usage/missing files.
+
+Usage:
+    python3 tools/bench_compare.py \
+        --baseline-dir bench/baselines --fresh-dir bench-json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        print(f"bench_compare: missing {path}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"bench_compare: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def lookup(doc, metric, path):
+    if metric not in doc:
+        print(f"bench_compare: metric '{metric}' not in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    v = doc[metric]
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        print(f"bench_compare: metric '{metric}' in {path} is not a number",
+              file=sys.stderr)
+        sys.exit(2)
+    return float(v)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory with committed BENCH_*.json + gates.json")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory with the fresh smoke-run BENCH_*.json")
+    args = ap.parse_args()
+
+    gates_path = os.path.join(args.baseline_dir, "gates.json")
+    if not os.path.isfile(gates_path):
+        print(f"bench_compare: no {gates_path}", file=sys.stderr)
+        return 2
+    config = load_json(gates_path)
+    default_tol = float(config.get("default_tolerance", 0.10))
+    gates = config.get("gates", [])
+    if not gates:
+        print("bench_compare: gates.json declares no gates", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    improvements = 0
+    cache = {}
+    rows = []
+    for g in gates:
+        fname, metric = g.get("file"), g.get("metric")
+        if not fname or not metric:
+            print(f"bench_compare: gate entry needs 'file' and 'metric': {g}",
+                  file=sys.stderr)
+            return 2
+        direction = g.get("direction", "higher")
+        tol = float(g.get("tolerance", default_tol))
+        for role, d in (("base", args.baseline_dir), ("fresh", args.fresh_dir)):
+            key = (role, fname)
+            if key not in cache:
+                path = os.path.join(d, fname)
+                if not os.path.isfile(path):
+                    print(f"bench_compare: missing {path}", file=sys.stderr)
+                    return 2
+                cache[key] = load_json(path)
+        base = lookup(cache[("base", fname)], metric, fname)
+        fresh = lookup(cache[("fresh", fname)], metric, fname)
+
+        status = "ok"
+        if direction == "higher":
+            if fresh < base * (1.0 - tol):
+                status = "REGRESSION"
+            elif fresh > base * (1.0 + tol):
+                status = "improved"
+        elif direction == "lower":
+            if fresh > base * (1.0 + tol):
+                status = "REGRESSION"
+            elif fresh < base * (1.0 - tol):
+                status = "improved"
+        else:
+            print(f"bench_compare: bad direction '{direction}'",
+                  file=sys.stderr)
+            return 2
+        if "absolute_max" in g and fresh > float(g["absolute_max"]):
+            status = "REGRESSION"
+        if "absolute_min" in g and fresh < float(g["absolute_min"]):
+            status = "REGRESSION"
+
+        regressions += status == "REGRESSION"
+        improvements += status == "improved"
+        if base != 0:
+            delta = (fresh / base - 1.0) * 100
+        else:
+            delta = 0.0 if fresh == 0 else float("inf")
+        rows.append((fname, metric, direction, f"{base:.6g}", f"{fresh:.6g}",
+                     f"{delta:+.1f}%", f"{tol:.0%}", status))
+
+    widths = [max(len(r[i]) for r in rows + [tuple("file metric dir baseline "
+              "fresh delta band status".split())]) for i in range(8)]
+    header = ("file", "metric", "dir", "baseline", "fresh", "delta", "band",
+              "status")
+    for r in [header] + rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+    if regressions:
+        print(f"\nbench_compare: {regressions} gate(s) regressed beyond "
+              "their tolerance band", file=sys.stderr)
+        return 1
+    if improvements:
+        print(f"\nbench_compare: {improvements} metric(s) improved beyond "
+              "the band — consider refreshing bench/baselines/ (docs/ci.md)")
+    print("bench_compare: all gates pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,8 +29,20 @@
 //       the (scaled-down) models; prints the bound-guided bucket tables,
 //       throughput, latency percentiles, and the batch-size histogram.
 //       --bucket 0 (default) = bound-guided bucket; 1 = unbatched baseline.
+//   cluster [--devices CSV] [--policy bound|rr|least] [--models CSV]
+//           [--clients N] [--requests N] [--layers N] [--chan-cap N]
+//           [--spatial-cap N] [--dev-workers N] [--replicas N]
+//           [--pending N] [--queue N] [--delay-us N] [--bucket N]
+//           [--max-bucket N] [--mode measured|tuned] [--budget N]
+//       Closed-loop self-benchmark of the heterogeneous multi-accelerator
+//       cluster: --devices lists one MachineSpec per simulated device
+//       (e.g. "v100,hbm,dense"); the bound-aware Router places each request
+//       group on the device with the best predicted per-request time, with
+//       work stealing when it saturates. Prints per-device placement /
+//       throughput tables and the fleet summary; exits non-zero on any
+//       failed request or per-device plan-cache miss after warmup.
 //
-// Machines: 1080ti, titanx, v100 (default), gfx906.
+// Machines: 1080ti, titanx, v100 (default), gfx906, hbm, dense, test.
 // Models: squeezenet, vgg-19, resnet-18, resnet-34, inception-v3, mobilenet.
 // Algorithms: tiled (default), naive, im2col, cudnn, winograd, phased, fft.
 #include <atomic>
@@ -73,15 +85,6 @@ Args parse(int argc, char** argv, int start) {
   return a;
 }
 
-MachineSpec machine_by_name(const std::string& name) {
-  if (name == "1080ti") return MachineSpec::gtx1080ti();
-  if (name == "titanx") return MachineSpec::titan_x();
-  if (name == "v100") return MachineSpec::v100();
-  if (name == "gfx906") return MachineSpec::gfx906();
-  CB_CHECK_MSG(false, "unknown machine '" << name
-                                          << "' (1080ti|titanx|v100|gfx906)");
-  return {};
-}
 
 ConvShape shape_from(const Args& a) {
   ConvShape s;
@@ -121,7 +124,7 @@ int cmd_bound(const Args& a) {
 
 int cmd_run(const Args& a) {
   const ConvShape s = shape_from(a);
-  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  SimGpu gpu(spec_by_name(a.gets("machine", "v100")));
   const std::string algo_name = a.gets("algo", "tiled");
   const ConvProblem p = make_problem(s, a.geti("seed", 1));
   Tensor4<float> out(s.batch, s.cout, s.hout(), s.wout());
@@ -171,7 +174,7 @@ int cmd_run(const Args& a) {
 
 int cmd_tune(const Args& a) {
   const ConvShape s = shape_from(a);
-  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  SimGpu gpu(spec_by_name(a.gets("machine", "v100")));
   AutotuneOptions opts;
   opts.budget = static_cast<int>(a.geti("budget", 64));
   opts.winograd = a.geti("winograd", 0) != 0;
@@ -257,7 +260,7 @@ PlannerOptions planner_options_from(const Args& a) {
 }
 
 int cmd_plan(const Args& a) {
-  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  SimGpu gpu(spec_by_name(a.gets("machine", "v100")));
   const PlannerOptions opts = planner_options_from(a);
 
   const std::string cache_path = a.gets("cache", "");
@@ -351,7 +354,7 @@ int cmd_serve(const Args& a) {
         make_served_model(name, model_by_name(name, 1), scale));
 
   ServerOptions opts;
-  opts.machine = machine_by_name(a.gets("machine", "v100"));
+  opts.machine = spec_by_name(a.gets("machine", "v100"));
   opts.workers = static_cast<int>(a.geti("serve-workers", 2));
   opts.replicas = static_cast<int>(a.geti("replicas", 1));
   opts.max_queue = static_cast<std::size_t>(a.geti("queue", 256));
@@ -453,8 +456,134 @@ int cmd_serve(const Args& a) {
   return failures.load() == 0 && s.plan_misses_after_warm == 0 ? 0 : 1;
 }
 
+int cmd_cluster(const Args& a) {
+  ServedModelOptions scale;
+  scale.max_layers = static_cast<std::size_t>(a.geti("layers", 3));
+  scale.channel_cap = a.geti("chan-cap", 16);
+  scale.spatial_cap = a.geti("spatial-cap", 28);
+
+  std::vector<ServedModel> models;
+  for (const std::string& name :
+       split_csv(a.gets("models", "squeezenet,resnet-18")))
+    models.push_back(
+        make_served_model(name, model_by_name(name, 1), scale));
+
+  ClusterOptions opts;
+  for (const std::string& spec : split_csv(a.gets("devices", "v100,hbm,dense"))) {
+    DeviceConfig d;
+    d.spec = spec_by_name(spec);
+    d.workers = static_cast<int>(a.geti("dev-workers", 2));
+    d.replicas = static_cast<int>(a.geti("replicas", 0));
+    d.max_pending_groups = static_cast<int>(a.geti("pending", 0));
+    opts.devices.push_back(std::move(d));
+  }
+  opts.policy = route_policy_by_name(a.gets("policy", "bound"));
+  opts.max_queue = static_cast<std::size_t>(a.geti("queue", 1024));
+  opts.max_delay = std::chrono::microseconds(a.geti("delay-us", 2000));
+  opts.force_bucket = a.geti("bucket", 0);
+  opts.batch_policy.max_bucket = a.geti("max-bucket", 8);
+  const std::string mode = a.gets("mode", "measured");
+  CB_CHECK_MSG(mode == "measured" || mode == "tuned",
+               "cluster planning mode must be measured|tuned");
+  opts.plan_mode = mode == "tuned" ? PlanMode::kTuned : PlanMode::kMeasured;
+  opts.tune_budget = static_cast<int>(a.geti("budget", 16));
+
+  ClusterServer cluster(models, opts);
+  WallTimer warm_timer;
+  cluster.start();
+  std::printf("started: %zu models on %zu devices (%s routing), warmup "
+              "%.2fs (planning + workspace warm; serving does neither)\n\n",
+              models.size(), cluster.num_devices(),
+              to_string(opts.policy), warm_timer.seconds());
+
+  // The router's cost table: predicted per-request time of each model's
+  // chosen bucket on each device — what placement decisions read.
+  Table costs({"device", "model", "bucket", "pred us/req"});
+  for (std::size_t i = 0; i < cluster.num_devices(); ++i) {
+    for (const auto& m : models) {
+      const BucketChoice& c = cluster.device(i).engine().bucket_choice(m.name);
+      double per_req = 0;
+      for (const auto& s : c.scores)
+        if (s.chosen) per_req = s.predicted_seconds_per_request;
+      costs.add_row({cluster.device(i).name(), m.name,
+                     std::to_string(c.bucket), Table::fmt(per_req * 1e6, 2)});
+    }
+  }
+  std::printf("%s\n", costs.to_string().c_str());
+
+  const int clients = static_cast<int>(a.geti("clients", 4));
+  const int per_client = static_cast<int>(a.geti("requests", 16));
+  WallTimer load_timer;
+  // Failures are counted, never thrown: an exception escaping a client
+  // thread would std::terminate the whole benchmark.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const ServedModel& m = models[(c + i) % models.size()];
+        const InferResponse r =
+            cluster
+                .submit({m.name, make_request_input(m, 7000u * c + i)})
+                .get();
+        if (r.status != ServeStatus::kOk) {
+          ++failures;
+          std::fprintf(stderr, "request failed: %s %s\n",
+                       to_string(r.status), r.error.c_str());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = load_timer.seconds();
+  const ClusterSnapshot s = cluster.stats();
+  cluster.stop();
+
+  std::printf("closed loop: %d clients x %d requests in %.2fs\n", clients,
+              per_client, wall);
+  Table devices({"device", "placed", "batches", "mean batch", "completed",
+                 "modelled req/s", "plan misses"});
+  std::uint64_t plan_misses = 0;
+  for (const DeviceSnapshot& d : s.devices) {
+    devices.add_row({d.name, std::to_string(d.placements),
+                     std::to_string(d.stats.batches),
+                     Table::fmt(d.stats.mean_batch_size, 2),
+                     std::to_string(d.stats.completed),
+                     Table::fmt(d.stats.modelled_rps, 0),
+                     std::to_string(d.stats.plan_misses_after_warm)});
+    plan_misses += d.stats.plan_misses_after_warm;
+  }
+  std::printf("%s\n", devices.to_string().c_str());
+
+  Table t({"metric", "value"});
+  t.add_row({"completed", std::to_string(s.fleet.completed)});
+  t.add_row({"micro-batches", std::to_string(s.fleet.batches)});
+  t.add_row({"throughput (wall)",
+             Table::fmt(static_cast<double>(s.fleet.completed) / wall, 1) +
+                 " req/s"});
+  t.add_row({"throughput (modelled fleet)",
+             Table::fmt(s.fleet.modelled_rps, 0) + " req/s"});
+  t.add_row({"stolen groups (work stealing)",
+             std::to_string(s.stolen_groups)});
+  t.add_row({"latency p50 / p95 / p99 (ms)",
+             Table::fmt(s.fleet.latency_p50 * 1e3, 2) + " / " +
+                 Table::fmt(s.fleet.latency_p95 * 1e3, 2) + " / " +
+                 Table::fmt(s.fleet.latency_p99 * 1e3, 2)});
+  t.add_row({"rejected / expired",
+             std::to_string(s.fleet.rejected) + " / " +
+                 std::to_string(s.fleet.expired)});
+  t.add_row({"max queue depth", std::to_string(s.fleet.max_queue_depth)});
+  t.add_row({"plan-cache misses after warm (fleet)",
+             std::to_string(plan_misses)});
+  std::printf("%s", t.to_string().c_str());
+
+  if (failures.load() > 0)
+    std::fprintf(stderr, "%d requests failed\n", failures.load());
+  return failures.load() == 0 && plan_misses == 0 ? 0 : 1;
+}
+
 int cmd_models(const Args& a) {
-  SimGpu gpu(machine_by_name(a.gets("machine", "v100")));
+  SimGpu gpu(spec_by_name(a.gets("machine", "v100")));
   Table t({"model", "conv GFLOP", "baseline (ms)", "ours (ms)", "speedup"});
   auto zoo = model_zoo(a.geti("batch", 1));
   zoo.emplace_back("MobileNet-v1", mobilenet_v1(a.geti("batch", 1)));
@@ -475,8 +604,8 @@ int cmd_models(const Args& a) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: convbound-cli <bound|run|tune|plan|models|serve> "
-               "[--flag value]...\n"
+               "usage: convbound-cli <bound|run|tune|plan|models|serve|"
+               "cluster> [--flag value]...\n"
                "  see the header comment of tools/convbound_cli.cpp\n");
   return 2;
 }
@@ -494,6 +623,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(a);
     if (cmd == "models") return cmd_models(a);
     if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "cluster") return cmd_cluster(a);
     return usage();
   } catch (const convbound::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
