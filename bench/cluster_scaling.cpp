@@ -68,6 +68,8 @@ struct RunResult {
   std::string policy;
   int devices = 0;
   double fleet_modelled_rps = 0;  ///< completed / busiest device sim-seconds
+  /// Fleet wall p50/p99 from the bucket-exact merged latency histogram.
+  double p50_ms = 0, p99_ms = 0;
   double mean_batch = 0;
   std::uint64_t completed = 0, stolen = 0, plan_misses = 0;
   std::vector<std::string> device_json;
@@ -129,6 +131,8 @@ RunResult run_fleet(const std::string& fleet_name,
   r.policy = to_string(policy);
   r.devices = static_cast<int>(specs.size());
   r.fleet_modelled_rps = s.fleet.modelled_rps;
+  r.p50_ms = s.fleet.latency_p50 * 1e3;
+  r.p99_ms = s.fleet.latency_p99 * 1e3;
   r.mean_batch = s.fleet.mean_batch_size;
   r.completed = s.fleet.completed;
   r.stolen = s.stolen_groups;
@@ -181,12 +185,13 @@ void print_summary() {
               num_requests(), kDeviceWorkers,
               static_cast<unsigned long long>(seed_base()));
 
-  Table t({"fleet", "policy", "devices", "fleet modelled req/s", "mean batch",
-           "stolen groups"});
+  Table t({"fleet", "policy", "devices", "fleet modelled req/s",
+           "p50 / p99 ms", "mean batch", "stolen groups"});
   for (const auto& r : g_runs)
     t.add_row({r.fleet, r.policy, std::to_string(r.devices),
-               Table::fmt(r.fleet_modelled_rps, 0), Table::fmt(r.mean_batch, 2),
-               std::to_string(r.stolen)});
+               Table::fmt(r.fleet_modelled_rps, 0),
+               Table::fmt(r.p50_ms, 2) + " / " + Table::fmt(r.p99_ms, 2),
+               Table::fmt(r.mean_batch, 2), std::to_string(r.stolen)});
   std::printf("%s", t.to_string().c_str());
 
   const RunResult* one = find_run("homogeneous-1x-v100", "bound-aware");
@@ -220,6 +225,8 @@ void print_summary() {
             .add("policy", r.policy)
             .add("devices", r.devices)
             .add("fleet_modelled_rps", r.fleet_modelled_rps)
+            .add("p50_ms", r.p50_ms)
+            .add("p99_ms", r.p99_ms)
             .add("mean_batch", r.mean_batch)
             .add("completed", static_cast<int>(r.completed))
             .add("stolen_groups", static_cast<int>(r.stolen))
@@ -237,6 +244,9 @@ void print_summary() {
       .add("hetero_bound_aware_over_round_robin", bound_over_rr)
       .add("hetero_bound_aware_modelled_rps",
            bound != nullptr ? bound->fleet_modelled_rps : 0)
+      // Bucket-exact fleet tail on the heterogeneous bound-aware run — the
+      // p99 gate metric (wall-valued, so its band in gates.json is wide).
+      .add("hetero_bound_aware_p99_ms", bound != nullptr ? bound->p99_ms : 0)
       .add("plan_misses_after_warm_total", static_cast<int>(plan_misses));
   write_bench_json("cluster_scaling", out);
 }

@@ -200,6 +200,12 @@ void print_summary() {
                               .to_string());
   double batched_modelled_rps_at_peak = 0;
   if (batched != nullptr) batched_modelled_rps_at_peak = batched->modelled_rps;
+  // Histogram-derived (bucket-exact) wall p99 at the saturating load: the
+  // tail-latency gate metric (wide band in gates.json — wall tails on a
+  // shared runner are noisy; the gate catches the 2x-class regressions the
+  // old weighted-percentile merge could hide).
+  double batched_p99_ms_at_peak = 0;
+  if (batched != nullptr) batched_p99_ms_at_peak = batched->p99_ms;
   JsonObject out;
   out.add("bench", "serve_throughput")
       .add("smoke", smoke())
@@ -207,6 +213,7 @@ void print_summary() {
       .add("requests_per_cell", num_requests())
       .add("workers", kWorkers)
       .add("batched_modelled_rps_at_peak", batched_modelled_rps_at_peak)
+      .add("batched_p99_ms_at_peak", batched_p99_ms_at_peak)
       .add_raw("bound_guided_buckets", json_array(bucket_json))
       .add_raw("runs", json_array(runs_json))
       .add("batched_vs_batch1_modelled_ratio_at_peak", modelled_ratio)

@@ -65,6 +65,10 @@ struct ClusterOptions {
     EngineOptions e;
     e.force_bucket = force_bucket;
     e.policy = batch_policy;
+    // Bucket feasibility must account for the scheduler's group-formation
+    // window, which lives here, not in the policy options the caller set.
+    e.policy.max_delay_seconds =
+        std::chrono::duration<double>(max_delay).count();
     e.plan_mode = plan_mode;
     e.tune_budget = tune_budget;
     e.seed = seed;

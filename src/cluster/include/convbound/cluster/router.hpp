@@ -36,7 +36,8 @@
 // queue, where it keeps batching up and counts toward backpressure.
 //
 // Baseline policies for the bench/tests: kRoundRobin rotates placements
-// device by device (stealing past saturated devices), kLeastLoaded picks
+// device by device (skipping saturated devices — that is the rotation
+// itself, not a steal, so the steal counter stays 0), kLeastLoaded picks
 // the fewest pending groups. Both ignore the cost model.
 #pragma once
 
@@ -102,7 +103,9 @@ class Router {
   struct Snapshot {
     std::vector<std::uint64_t> placements;  ///< groups placed per device
     /// Groups placed on a non-preferred device because the preferred one
-    /// was saturated (work-stealing fallback).
+    /// was saturated (work-stealing fallback). Always 0 under round-robin:
+    /// the rotation has no cost preference to steal from, so passing a
+    /// saturated device's turn is not a steal.
     std::uint64_t stolen = 0;
     std::vector<int> pending_groups;
     /// Per-device virtual clocks (predicted modelled busy seconds, total).

@@ -13,6 +13,9 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
       models_(index_models(std::move(models))),
       queue_(opts_.max_queue) {
   CB_CHECK_MSG(!opts_.devices.empty(), "cluster needs at least one device");
+  // The fleet queue answers expired requests itself (promptly, freeing
+  // capacity); they never reach a device, so the front door counts them.
+  queue_.set_on_expired([this](std::size_t n) { stats_.record_expired(n); });
   const EngineOptions eopts = opts_.engine_options();
   for (std::size_t i = 0; i < opts_.devices.size(); ++i) {
     DeviceConfig cfg = opts_.devices[i];
@@ -134,10 +137,13 @@ ClusterSnapshot ClusterServer::stats() const {
 
   snap.fleet = merge_snapshots(parts);
   // Front-door truth overrides the merge: devices never see submissions or
-  // rejections, and the fleet clock starts at cluster start().
+  // rejections, and the fleet clock starts at cluster start(). Requests the
+  // fleet queue expired before placement are the front door's too — they
+  // add to the devices' collect-time expirations.
   const StatsSnapshot front = stats_.snapshot();
   snap.fleet.submitted = front.submitted;
   snap.fleet.rejected = front.rejected;
+  snap.fleet.expired += front.expired;
   snap.fleet.wall_seconds = front.wall_seconds;
   snap.fleet.throughput_rps =
       front.wall_seconds > 0

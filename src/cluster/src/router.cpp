@@ -105,9 +105,13 @@ Placement Router::reserve(const std::string& model) {
   });
   // The steal counter compares against the unconstrained preference: a
   // group landing somewhere other than its best device means the fallback
-  // kicked in.
-  const int preferred = pick(model, /*only_available=*/false);
-  if (chosen != preferred) ++stolen_;
+  // kicked in. Round-robin has no cost preference — a saturated device
+  // passing its turn is the rotation working as designed, so only the
+  // cost-driven policies (bound-aware, least-loaded) count steals.
+  if (policy_ != RoutePolicy::kRoundRobin) {
+    const int preferred = pick(model, /*only_available=*/false);
+    if (chosen != preferred) ++stolen_;
+  }
   // Advance past the device that actually took the group: after a steal,
   // the rotation must not hand the stealing device its own upcoming turn
   // as well (it would get consecutive groups and starve the next device).

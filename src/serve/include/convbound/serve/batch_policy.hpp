@@ -22,9 +22,16 @@ namespace convbound {
 struct BatchPolicyOptions {
   /// Largest candidate bucket (candidates are 1, 2, 4, ... <= max_bucket).
   std::int64_t max_bucket = 8;
-  /// Reject buckets whose predicted whole-batch time exceeds this (seconds,
-  /// modelled accelerator time; 0 = unconstrained).
+  /// Reject buckets whose predicted request latency exceeds this (seconds;
+  /// 0 = unconstrained). A request can wait up to the scheduler's group
+  /// formation window before its batch even starts, so the figure compared
+  /// is max_delay_seconds + the predicted whole-batch time — a bucket whose
+  /// batch alone fits the budget is still infeasible if the formation delay
+  /// eats the headroom.
   double latency_budget_seconds = 20e-3;
+  /// The scheduler's group-formation window (its max_delay, seconds); the
+  /// server/cluster options plumb it in via engine_options().
+  double max_delay_seconds = 0;
   /// Pick the smallest bucket within this fraction of the best feasible
   /// per-request time.
   double knee_tolerance = 0.02;

@@ -4,11 +4,21 @@
 // entry and collects same-model groups. Bounded capacity is the server's
 // backpressure mechanism: push fails instead of blocking, so overload turns
 // into explicit rejections rather than unbounded latency.
+//
+// The queue owns deadline expiry for whatever sits in it: wait_front() and
+// collect() first sweep out every entry whose deadline has passed,
+// completing its promise with kDeadlineExceeded immediately — a dead
+// request is answered promptly (instead of riding the full max-delay +
+// executor-slot wait to batch-collect time) and stops occupying queue
+// capacity the backpressure policy charges live traffic for. The engine's
+// own collect-time deadline check stays as the backstop for requests that
+// expire after leaving the queue.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -31,17 +41,31 @@ class RequestQueue {
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
+  /// Called with the number of requests the queue just expired (their
+  /// promises are already completed with kDeadlineExceeded). Set once,
+  /// before any thread touches the queue; the owner uses it to keep its
+  /// `expired` counter in step with the resolved futures.
+  void set_on_expired(std::function<void(std::size_t)> fn) {
+    on_expired_ = std::move(fn);
+  }
+
   /// False when the queue is full or closed (the caller completes the
-  /// promise with kRejected / kShutdown itself).
+  /// promise with kRejected / kShutdown itself). A full queue is swept for
+  /// expired entries before the rejection stands — dead occupants never
+  /// cost live traffic a kRejected.
   bool push(PendingRequest&& p);
 
-  /// Blocks until the queue is non-empty or closed. True with the oldest
-  /// entry's model + arrival time; false when closed and drained.
+  /// Blocks until the queue holds a live (non-expired) entry or is closed.
+  /// Expired entries encountered while waiting are answered and dropped.
+  /// True with the oldest live entry's model + arrival time; false when
+  /// closed and drained.
   bool wait_front(std::string* model, ServeTimePoint* enqueued);
 
-  /// Waits until `max_n` requests of `model` are queued, `deadline` passes,
-  /// or the queue closes; then removes and returns up to `max_n` of them,
-  /// oldest first (possibly empty if another collector raced them away).
+  /// Waits until `max_n` live requests of `model` are queued, `deadline`
+  /// passes, or the queue closes; then removes and returns up to `max_n` of
+  /// them, oldest first (possibly empty if another collector raced them
+  /// away). Expired entries of *any* model are answered and dropped along
+  /// the way rather than collected.
   std::vector<PendingRequest> collect(const std::string& model,
                                       std::size_t max_n,
                                       ServeTimePoint deadline);
@@ -57,11 +81,16 @@ class RequestQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Answers (kDeadlineExceeded) and removes every entry whose deadline is
+  /// before `now`; reports the count through on_expired_. Caller holds mu_.
+  void expire_locked(ServeTimePoint now);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> items_;
   std::size_t capacity_;
   bool closed_ = false;
+  std::function<void(std::size_t)> on_expired_;
 };
 
 }  // namespace convbound

@@ -69,6 +69,10 @@ struct ServerOptions {
     e.replicas = replicas;
     e.force_bucket = force_bucket;
     e.policy = policy;
+    // Bucket feasibility must account for the scheduler's group-formation
+    // window, which lives here, not in the policy options the caller set.
+    e.policy.max_delay_seconds =
+        std::chrono::duration<double>(max_delay).count();
     e.plan_mode = plan_mode;
     e.tune_budget = tune_budget;
     e.seed = seed;

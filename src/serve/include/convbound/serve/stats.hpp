@@ -1,11 +1,15 @@
-// Serving observability: counters, latency percentiles, batch-size
+// Serving observability: counters, latency telemetry, batch-size
 // histogram. One mutex guards everything — recording happens per batch and
 // per rejection, far off any per-element hot path.
 //
-// Latencies are kept in a fixed-size uniform reservoir (algorithm R), so a
-// long-running server's memory and snapshot cost stay bounded; below the
-// reservoir capacity the percentiles are exact, above it they are an
-// unbiased sample estimate. Counters and the mean stay exact throughout.
+// Latencies live in a log-bucketed LatencyHistogram (fixed geometric
+// ladder, 5% relative resolution from 1µs to 100s — see
+// convbound/util/latency_histogram.hpp): O(1) record, bounded memory for a
+// long-running server, and — the property the cluster layer needs — exact
+// merge by bucket-wise addition, so fleet percentiles computed after the
+// merge are true percentiles of the combined request population (within one
+// bucket), not a weighted average of per-device percentiles. Counters,
+// mean, and max stay exact throughout.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +18,7 @@
 #include <vector>
 
 #include "convbound/serve/request.hpp"
-#include "convbound/util/rng.hpp"
+#include "convbound/util/latency_histogram.hpp"
 
 namespace convbound {
 
@@ -36,7 +40,11 @@ struct StatsSnapshot {
   double sim_seconds = 0;
   double modelled_rps = 0;
 
-  // Submit-to-completion wall latency over completed requests, seconds.
+  /// Submit-to-completion wall latencies of completed requests: the full
+  /// mergeable histogram plus the derived quantities every consumer reads.
+  /// The percentiles are histogram-derived (≤5% bucket error); max and
+  /// mean are exact.
+  LatencyHistogram latency;
   double latency_p50 = 0;
   double latency_p95 = 0;
   double latency_p99 = 0;
@@ -64,9 +72,10 @@ struct StatsSnapshot {
 ///   - modelled_rps = total completed / max part sim_seconds — the
 ///     makespan figure: at saturation the busiest device's modelled time is
 ///     when the fleet finishes;
-///   - latency percentiles are completed-weighted means of the parts'
-///     percentiles (an approximation — exact fleet percentiles would need
-///     the raw reservoirs), max/mean are exact.
+///   - latency percentiles are recomputed from the bucket-wise merge of the
+///     parts' LatencyHistograms, so the fleet p50/p95/p99 are exact
+///     percentiles of the combined population (within one 5% bucket);
+///     max/mean stay exact.
 StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts);
 
 class ServerStats {
@@ -86,9 +95,6 @@ class ServerStats {
   /// server's to fill.
   StatsSnapshot snapshot() const;
 
-  /// Latency-reservoir capacity (doubles retained at most).
-  static constexpr std::size_t kLatencyReservoir = 1 << 16;
-
  private:
   mutable std::mutex mu_;
   ServeTimePoint start_{};
@@ -99,10 +105,7 @@ class ServerStats {
   std::uint64_t failed_ = 0;
   std::uint64_t batches_ = 0;
   double sim_seconds_ = 0;
-  double latency_sum_ = 0;
-  double latency_max_ = 0;
-  std::vector<double> latencies_;  ///< uniform reservoir over completions
-  Rng reservoir_rng_{0x5e28e};
+  LatencyHistogram latency_;  ///< every completion, O(1) per record
   std::map<int, std::uint64_t> histogram_;
   std::size_t max_queue_depth_ = 0;
 };

@@ -24,9 +24,13 @@ BucketScore score_one(Planner& planner, SimGpu& gpu, const ServedModel& model,
   }
   score.predicted_seconds_per_request =
       score.predicted_batch_seconds / static_cast<double>(b);
+  // Feasibility is end-to-end: the scheduler may hold the group open for
+  // its whole formation window before the batch starts, so the budget must
+  // cover max_delay + the predicted batch time, not the batch time alone.
   score.feasible =
       opts.latency_budget_seconds <= 0 ||
-      score.predicted_batch_seconds <= opts.latency_budget_seconds;
+      opts.max_delay_seconds + score.predicted_batch_seconds <=
+          opts.latency_budget_seconds;
   return score;
 }
 

@@ -4,10 +4,36 @@
 
 namespace convbound {
 
+void RequestQueue::expire_locked(ServeTimePoint now) {
+  std::size_t n = 0;
+  for (auto it = items_.begin(); it != items_.end();) {
+    if (it->request.deadline < now) {
+      InferResponse r;
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.latency_seconds =
+          std::chrono::duration<double>(now - it->enqueued).count();
+      it->promise.set_value(std::move(r));
+      it = items_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  // Completed futures must never be visible before the counter reflects
+  // them, so the report happens under mu_ (the handler takes its own lock).
+  if (n > 0 && on_expired_) on_expired_(n);
+}
+
 bool RequestQueue::push(PendingRequest&& p) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
+    if (closed_) return false;
+    // Only sweep when the capacity check is about to bite (keeps the happy
+    // path O(1)): dead occupants must not cost live traffic a rejection.
+    if (items_.size() >= capacity_) {
+      expire_locked(ServeClock::now());
+      if (items_.size() >= capacity_) return false;
+    }
     items_.push_back(std::move(p));
   }
   cv_.notify_all();
@@ -16,11 +42,16 @@ bool RequestQueue::push(PendingRequest&& p) {
 
 bool RequestQueue::wait_front(std::string* model, ServeTimePoint* enqueued) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-  if (items_.empty()) return false;
-  *model = items_.front().request.model;
-  *enqueued = items_.front().enqueued;
-  return true;
+  for (;;) {
+    expire_locked(ServeClock::now());
+    if (!items_.empty()) {
+      *model = items_.front().request.model;
+      *enqueued = items_.front().enqueued;
+      return true;
+    }
+    if (closed_) return false;
+    cv_.wait(lock);
+  }
 }
 
 std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
@@ -29,12 +60,16 @@ std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
   std::unique_lock<std::mutex> lock(mu_);
   const auto have_group = [&] {
     if (closed_) return true;
+    // Sweeping inside the predicate keeps dead requests from counting
+    // toward (or blocking) group formation; the lock is held here.
+    expire_locked(ServeClock::now());
     std::size_t n = 0;
     for (const auto& p : items_)
       if (p.request.model == model && ++n >= max_n) return true;
     return false;
   };
   cv_.wait_until(lock, deadline, have_group);
+  expire_locked(ServeClock::now());
 
   std::vector<PendingRequest> out;
   out.reserve(max_n);

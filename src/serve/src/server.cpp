@@ -13,6 +13,9 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models,
       engine_(models_, opts_.engine_options(), &stats_),
       queue_(opts_.max_queue) {
   CB_CHECK_MSG(opts_.workers >= 1, "workers must be >= 1");
+  // The queue answers expired requests itself (promptly, freeing capacity);
+  // it reports them here so the stats stay in step with the futures.
+  queue_.set_on_expired([this](std::size_t n) { stats_.record_expired(n); });
 }
 
 InferenceServer::~InferenceServer() { stop(); }

@@ -6,13 +6,14 @@ namespace convbound {
 
 namespace {
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+/// The histogram-derived latency fields, shared by the single-device
+/// snapshot and the fleet merge so every consumer sees the same numbers.
+void fill_latency_fields(StatsSnapshot& s) {
+  s.latency_p50 = s.latency.quantile(0.50);
+  s.latency_p95 = s.latency.quantile(0.95);
+  s.latency_p99 = s.latency.quantile(0.99);
+  s.latency_max = s.latency.max_value();
+  s.latency_mean = s.latency.mean();
 }
 
 }  // namespace
@@ -20,9 +21,7 @@ double percentile(const std::vector<double>& sorted, double q) {
 StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
   StatsSnapshot s;
   std::map<int, std::uint64_t> histogram;
-  double latency_weighted[3] = {0, 0, 0};
   double makespan = 0;
-  double latency_mean_weighted = 0;
   for (const StatsSnapshot& p : parts) {
     s.submitted += p.submitted;
     s.completed += p.completed;
@@ -34,27 +33,21 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
     s.wall_seconds = std::max(s.wall_seconds, p.wall_seconds);
     s.queue_depth = std::max(s.queue_depth, p.queue_depth);
     s.max_queue_depth = std::max(s.max_queue_depth, p.max_queue_depth);
-    s.latency_max = std::max(s.latency_max, p.latency_max);
     s.plans_memoised += p.plans_memoised;
     s.plan_misses_after_warm += p.plan_misses_after_warm;
     s.workspace_buffers += p.workspace_buffers;
     s.workspace_bytes += p.workspace_bytes;
     makespan = std::max(makespan, p.sim_seconds);
-    const double w = static_cast<double>(p.completed);
-    latency_weighted[0] += w * p.latency_p50;
-    latency_weighted[1] += w * p.latency_p95;
-    latency_weighted[2] += w * p.latency_p99;
-    latency_mean_weighted += w * p.latency_mean;
+    // Bucket-wise addition: the merged histogram is exactly the histogram
+    // of the combined request population, so the fleet percentiles below
+    // are real percentiles — not the completed-weighted average of
+    // per-device percentiles this merge used to report, which understated
+    // a heterogeneous fleet's tail whenever the slow device held it.
+    s.latency.merge(p.latency);
     for (const auto& [size, count] : p.batch_histogram)
       histogram[size] += count;
   }
-  if (s.completed > 0) {
-    const double w = static_cast<double>(s.completed);
-    s.latency_p50 = latency_weighted[0] / w;
-    s.latency_p95 = latency_weighted[1] / w;
-    s.latency_p99 = latency_weighted[2] / w;
-    s.latency_mean = latency_mean_weighted / w;
-  }
+  fill_latency_fields(s);
   if (s.wall_seconds > 0)
     s.throughput_rps = static_cast<double>(s.completed) / s.wall_seconds;
   if (makespan > 0)
@@ -105,16 +98,7 @@ void ServerStats::record_batch(std::size_t group, double sim_seconds,
   ++histogram_[static_cast<int>(group)];
   for (double l : latencies) {
     ++completed_;
-    latency_sum_ += l;
-    latency_max_ = std::max(latency_max_, l);
-    if (latencies_.size() < kLatencyReservoir) {
-      latencies_.push_back(l);
-    } else {
-      // Algorithm R: keep each of the completed_ latencies with equal
-      // probability kLatencyReservoir / completed_.
-      const std::uint64_t j = reservoir_rng_.below(completed_);
-      if (j < kLatencyReservoir) latencies_[static_cast<std::size_t>(j)] = l;
-    }
+    latency_.record(l);
   }
 }
 
@@ -138,15 +122,8 @@ StatsSnapshot ServerStats::snapshot() const {
   if (s.sim_seconds > 0)
     s.modelled_rps = static_cast<double>(s.completed) / s.sim_seconds;
 
-  std::vector<double> sorted = latencies_;
-  std::sort(sorted.begin(), sorted.end());
-  s.latency_p50 = percentile(sorted, 0.50);
-  s.latency_p95 = percentile(sorted, 0.95);
-  s.latency_p99 = percentile(sorted, 0.99);
-  s.latency_max = latency_max_;
-  s.latency_mean = completed_ > 0
-                       ? latency_sum_ / static_cast<double>(completed_)
-                       : 0;
+  s.latency = latency_;
+  fill_latency_fields(s);
 
   std::uint64_t grouped = 0;
   for (const auto& [size, count] : histogram_) {

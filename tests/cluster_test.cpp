@@ -169,6 +169,28 @@ TEST(Router, RoundRobinIgnoresTheCostModel) {
   }
 }
 
+TEST(Router, RoundRobinPassingASaturatedTurnIsNotASteal) {
+  // Regression: the steal counter used to compare round-robin placements
+  // against the rotation's unconstrained pick, so every group placed while
+  // any earlier-in-rotation device sat at its cap looked "stolen" — but RR
+  // has no cost preference to steal from. Saturate "a" (cap 1) and keep
+  // placing: groups flow to "b" with the counter untouched.
+  Router router(RoutePolicy::kRoundRobin,
+                {entry("a", 1.0e-3, 1, 1), entry("b", 1.0e-3, 1, 8)});
+  EXPECT_EQ(router.reserve("m").device, 0);  // a now at its pending cap
+  EXPECT_EQ(router.reserve("m").device, 1);
+  EXPECT_EQ(router.reserve("m").device, 1);  // a's turn passes again
+  const Router::Snapshot s = router.snapshot();
+  EXPECT_EQ(s.stolen, 0u);
+  EXPECT_EQ(s.placements[0], 1u);
+  EXPECT_EQ(s.placements[1], 2u);
+  // The cost-driven policies still count genuine steals (covered by
+  // WorkStealingFallbackWhenPreferredSaturates above).
+  router.complete(0, "m");
+  router.complete(1, "m");
+  router.complete(1, "m");
+}
+
 TEST(Router, PlacementCarriesTheDevicesOwnBucket) {
   Router router(RoutePolicy::kBoundAware,
                 {entry("a", 4.0e-3, 4, 1), entry("b", 4.0e-3, 2, 1)});
@@ -320,29 +342,29 @@ TEST(Cluster, QueuedBeforeStartServedAfterAndShutdownAfterStop) {
 // ------------------------------------------------------- stats merge ----
 
 TEST(ClusterStats, MergeIsParallelSemantics) {
-  StatsSnapshot a;
-  a.completed = 30;
-  a.batches = 10;
-  a.sim_seconds = 3.0;  // busiest device: the fleet makespan
-  a.latency_p50 = 0.010;
-  a.latency_mean = 0.010;
-  a.batch_histogram = {{3, 10}};
-  StatsSnapshot b;
-  b.completed = 10;
-  b.batches = 10;
-  b.sim_seconds = 1.0;
-  b.latency_p50 = 0.002;
-  b.latency_mean = 0.002;
-  b.batch_histogram = {{1, 10}};
+  // Device a: 30 completions at 10ms over 10 batches of 3; device b: 10 at
+  // 2ms, unbatched. Built through ServerStats so the merge sees exactly
+  // what real devices report.
+  ServerStats sa, sb;
+  for (int i = 0; i < 10; ++i)
+    sa.record_batch(3, 0.3, {0.010, 0.010, 0.010});
+  for (int i = 0; i < 10; ++i) sb.record_batch(1, 0.1, {0.002});
 
-  const StatsSnapshot m = merge_snapshots({a, b});
+  const StatsSnapshot m = merge_snapshots({sa.snapshot(), sb.snapshot()});
   EXPECT_EQ(m.completed, 40u);
   EXPECT_EQ(m.batches, 20u);
   EXPECT_DOUBLE_EQ(m.sim_seconds, 4.0);
   // Makespan figure: 40 requests done when the busiest device finishes.
   EXPECT_DOUBLE_EQ(m.modelled_rps, 40.0 / 3.0);
-  // Completed-weighted percentile approximation.
-  EXPECT_NEAR(m.latency_p50, (30 * 0.010 + 10 * 0.002) / 40.0, 1e-12);
+  // Exact percentiles of the *combined* population (30x 10ms + 10x 2ms):
+  // the true p50 is 10ms — not the 8ms the old completed-weighted average
+  // of per-device p50s reported — and the merged histogram holds every
+  // completion.
+  EXPECT_NEAR(m.latency_p50, 0.010, 0.010 * 0.05);
+  EXPECT_NEAR(m.latency_p99, 0.010, 0.010 * 0.05);
+  EXPECT_EQ(m.latency.count(), 40u);
+  EXPECT_DOUBLE_EQ(m.latency_max, 0.010);
+  EXPECT_DOUBLE_EQ(m.latency_mean, (30 * 0.010 + 10 * 0.002) / 40.0);
   EXPECT_DOUBLE_EQ(m.mean_batch_size, 2.0);
 }
 

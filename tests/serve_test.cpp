@@ -89,6 +89,59 @@ TEST(RequestQueue, BoundedPushAndGroupCollect) {
   ASSERT_FALSE(q.wait_front(&model, &enq));  // closed + drained
 }
 
+TEST(RequestQueue, ExpiredEntriesAreAnsweredAndFreeCapacity) {
+  // Regression: expired requests used to sit in the queue (consuming
+  // backpressure budget) until batch-collect time. The queue now answers
+  // them in wait_front/collect sweeps.
+  RequestQueue q(2);
+  std::size_t expired_reported = 0;
+  q.set_on_expired([&](std::size_t n) { expired_reported += n; });
+  const auto pending = [](const std::string& model, ServeTimePoint deadline) {
+    PendingRequest p;
+    p.request.model = model;
+    p.request.deadline = deadline;
+    p.enqueued = ServeClock::now();
+    return p;
+  };
+
+  PendingRequest dead = pending("a", ServeClock::now() - std::chrono::seconds(1));
+  std::future<InferResponse> dead_fut = dead.promise.get_future();
+  ASSERT_TRUE(q.push(std::move(dead)));
+  ASSERT_TRUE(q.push(pending("b", ServeTimePoint::max())));
+
+  // A push at capacity sweeps dead occupants instead of charging live
+  // traffic a rejection: the dead entry is answered and "c" takes its slot.
+  EXPECT_TRUE(q.push(pending("c", ServeTimePoint::max())));
+  ASSERT_EQ(dead_fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const InferResponse r = dead_fut.get();
+  EXPECT_EQ(r.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_GT(r.latency_seconds, 0);
+  EXPECT_EQ(expired_reported, 1u);
+  EXPECT_EQ(q.depth(), 2u);
+  // Genuinely full of live requests: backpressure stands.
+  EXPECT_FALSE(q.push(pending("d", ServeTimePoint::max())));
+
+  // wait_front reports the *live* front (the dead "a" is long gone).
+  std::string model;
+  ServeTimePoint enq;
+  ASSERT_TRUE(q.wait_front(&model, &enq));
+  EXPECT_EQ(model, "b");
+
+  // collect sweeps too: a dead "b" never joins a "b" group.
+  PendingRequest dead_b =
+      pending("b", ServeClock::now() - std::chrono::seconds(1));
+  std::future<InferResponse> dead_b_fut = dead_b.promise.get_future();
+  q.drain();
+  ASSERT_TRUE(q.push(std::move(dead_b)));
+  ASSERT_TRUE(q.push(pending("b", ServeTimePoint::max())));
+  const auto group = q.collect("b", 4, ServeClock::now());
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].request.deadline, ServeTimePoint::max());
+  EXPECT_EQ(dead_b_fut.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(expired_reported, 2u);
+}
+
 // ------------------------------------------------------- batch policy ----
 
 TEST(BatchPolicy, BoundGuidedBucketSitsAtTheKnee) {
@@ -238,6 +291,83 @@ TEST(Serve, ExpiredDeadlineIsDroppedNotExecuted) {
   EXPECT_EQ(f2.get().status, ServeStatus::kOk);
   EXPECT_EQ(server.stats().expired, 1u);
   server.stop();
+}
+
+TEST(Serve, ExpiredSubmitUnderSaturationResolvesAndFreesQueueBudget) {
+  // A saturated server: enough queued work that an expired request would
+  // previously ride the whole max-delay + executor-slot wait before its
+  // kDeadlineExceeded resolved, holding a queue slot the entire time. The
+  // queue-level sweep must answer it and give the slot back to live
+  // traffic.
+  auto models = tiny_models();
+  ServerOptions opts = tiny_options();
+  opts.workers = 1;
+  opts.max_queue = 64;
+  InferenceServer server(models, opts);
+  server.start();
+
+  const Tensor4<float> input = make_request_input(models[0], 5);
+  std::vector<std::future<InferResponse>> live;
+  for (int i = 0; i < 24; ++i)
+    live.push_back(server.submit({models[0].name, input}));
+  auto dead = server.submit({models[0].name, input,
+                             ServeClock::now() - std::chrono::seconds(1)});
+  for (int i = 0; i < 24; ++i)
+    live.push_back(server.submit({models[0].name, input}));
+
+  EXPECT_EQ(dead.get().status, ServeStatus::kDeadlineExceeded);
+  for (auto& f : live) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.completed, 48u);
+  EXPECT_EQ(s.rejected, 0u);
+  server.stop();
+}
+
+TEST(BatchPolicy, FeasibilityChargesTheGroupFormationDelay) {
+  // The budget must cover max_delay + predicted batch time: a bucket whose
+  // batch alone fits is still infeasible when the scheduler's formation
+  // window eats the headroom.
+  const auto models = tiny_models();
+  const MachineSpec spec = MachineSpec::v100();
+  BatchPolicyOptions free_opts;
+  free_opts.max_bucket = 2;
+  free_opts.latency_budget_seconds = 0;  // unconstrained probe
+  const double b1 =
+      score_batch_bucket(models[0], spec, 1, free_opts).predicted_batch_seconds;
+  const double b2 =
+      score_batch_bucket(models[0], spec, 2, free_opts).predicted_batch_seconds;
+  ASSERT_GT(b2, b1);
+
+  // Budget B with b2 <= B (old rule: bucket 2 feasible) but
+  // delay + b2 > B >= delay + b1 (new rule: only bucket 1 fits).
+  BatchPolicyOptions opts;
+  opts.max_bucket = 2;
+  opts.max_delay_seconds = b2;
+  opts.latency_budget_seconds = b2 + (b1 + b2) / 2;
+  const BucketChoice constrained = choose_batch_bucket(models[0], spec, opts);
+  EXPECT_EQ(constrained.bucket, 1);
+  for (const auto& s : constrained.scores) {
+    if (s.bucket == 2) {
+      EXPECT_FALSE(s.feasible);
+    }
+  }
+
+  // Same budget with no formation delay: bucket 2 is back on the table.
+  BatchPolicyOptions no_delay = opts;
+  no_delay.max_delay_seconds = 0;
+  for (const auto& s : choose_batch_bucket(models[0], spec, no_delay).scores)
+    EXPECT_TRUE(s.feasible) << "bucket " << s.bucket;
+
+  // Boundary: the budget exactly covers delay + batch -> feasible.
+  BatchPolicyOptions exact = opts;
+  exact.latency_budget_seconds = exact.max_delay_seconds + b2;
+  const BucketChoice at_edge = choose_batch_bucket(models[0], spec, exact);
+  for (const auto& s : at_edge.scores) {
+    if (s.bucket == 2) {
+      EXPECT_TRUE(s.feasible);
+    }
+  }
 }
 
 TEST(Serve, RejectsMalformedRequests) {

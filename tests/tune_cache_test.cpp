@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "convbound/tune/cache.hpp"
+#include "convbound/util/rng.hpp"
 
 namespace convbound {
 namespace {
@@ -83,6 +87,83 @@ TEST(TuneCache, MergeKeepsBest) {
   a.merge(b);
   EXPECT_EQ(a.size(), 3u);
   EXPECT_EQ(a.get("k")->config.x, 8);
+}
+
+// Property test over randomized (spec, shape, config) tasks: every entry
+// that survives the better-GFlops-wins insert rule must round-trip through
+// serialize/deserialize — including the rfind('|') parsing path, which has
+// to split on the *last* separator because keys are free-form text — and
+// merge() must agree with a reference map applying the same rule.
+TEST(TuneCache, RandomizedSerializeMergeRoundTrip) {
+  Rng rng(0xCAFE);
+  const std::vector<MachineSpec> specs = {
+      MachineSpec::v100(), MachineSpec::titan_x(),
+      MachineSpec::bandwidth_optimized(), MachineSpec::compute_optimized()};
+  const auto random_entry = [&] {
+    TuneCache::Entry e;
+    e.config.x = rng.range(1, 32);
+    e.config.y = rng.range(1, 32);
+    e.config.z = rng.range(1, 16);
+    e.config.nxt = rng.range(1, 8);
+    e.config.nyt = rng.range(1, 8);
+    e.config.nzt = rng.range(1, 4);
+    e.config.layout = static_cast<Layout>(rng.range(0, 2));
+    e.config.smem_budget = 1024 * rng.range(1, 96);
+    e.gflops = 1.0 + 5000.0 * rng.uniform();
+    return e;
+  };
+
+  TuneCache a, b;
+  std::map<std::string, TuneCache::Entry> want;  // reference: best wins
+  for (int i = 0; i < 300; ++i) {
+    ConvShape s;
+    s.batch = 1 << rng.range(0, 4);
+    s.kh = s.kw = 2 * rng.range(0, 2) + 1;  // 1, 3, 5
+    s.hin = s.win = s.kh + rng.range(2, 20);
+    s.cin = s.cout = 2 * rng.range(1, 16);
+    s.stride = rng.range(1, 2);
+    s.pad = s.kh / 2;
+    s.validate();
+    const std::string key = TuneCache::make_key(
+        specs[static_cast<std::size_t>(rng.range(
+            0, static_cast<std::int64_t>(specs.size()) - 1))],
+        s, rng.range(0, 1) == 1, 2 * rng.range(1, 3));
+
+    // Same key can recur with a different config: the best GFlops must win
+    // in whichever of the two caches it lands in, and again at merge time.
+    const TuneCache::Entry e = random_entry();
+    (rng.range(0, 1) == 0 ? a : b).put(key, e);
+    const auto it = want.find(key);
+    if (it == want.end() || e.gflops > it->second.gflops) want[key] = e;
+  }
+
+  // Round trip each cache independently (text form is line-based).
+  for (const TuneCache* c : {&a, &b}) {
+    const TuneCache back = TuneCache::deserialize(c->serialize());
+    EXPECT_EQ(back.size(), c->size());
+  }
+
+  // Merge, then round-trip the merged cache and check every surviving
+  // entry against the reference.
+  a.merge(b);
+  const TuneCache back = TuneCache::deserialize(a.serialize());
+  ASSERT_EQ(back.size(), want.size());
+  for (const auto& [key, e] : want) {
+    const auto got = back.get(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(got->config.x, e.config.x) << key;
+    EXPECT_EQ(got->config.y, e.config.y) << key;
+    EXPECT_EQ(got->config.z, e.config.z) << key;
+    EXPECT_EQ(got->config.nxt, e.config.nxt) << key;
+    EXPECT_EQ(got->config.nyt, e.config.nyt) << key;
+    EXPECT_EQ(got->config.nzt, e.config.nzt) << key;
+    EXPECT_EQ(got->config.layout, e.config.layout) << key;
+    EXPECT_EQ(got->config.smem_budget, e.config.smem_budget) << key;
+    // gflops crosses the text form at default stream precision; the value
+    // survives to ~6 significant digits, the ordering decisions above were
+    // all made pre-serialization on exact doubles.
+    EXPECT_NEAR(got->gflops, e.gflops, 1e-4 * e.gflops) << key;
+  }
 }
 
 TEST(TuneCache, KeyEncodesTask) {
