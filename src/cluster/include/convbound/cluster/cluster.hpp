@@ -42,6 +42,7 @@
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/scheduler.hpp"
 #include "convbound/serve/stats.hpp"
+#include "convbound/serve/tenancy.hpp"
 
 namespace convbound {
 
@@ -60,6 +61,12 @@ struct ClusterOptions {
   PlanMode plan_mode = PlanMode::kMeasured;
   int tune_budget = 16;
   std::uint64_t seed = 42;
+  /// Tenant / priority classes (first = catch-all default). Empty keeps the
+  /// pre-tenancy single-class behaviour: FIFO-equivalent EDF, no quotas.
+  std::vector<TenantClass> classes;
+  /// Queue-fill fraction at which weighted-fair per-class shares start
+  /// binding; below it admission is work-conserving.
+  double admission_congestion = 0.5;
 
   EngineOptions engine_options() const {
     EngineOptions e;
@@ -82,6 +89,7 @@ struct DeviceSnapshot {
   /// Groups the Router placed on this device (>= stats.batches while
   /// groups are still queued on the device).
   std::uint64_t placements = 0;
+  bool alive = true;
   StatsSnapshot stats;
 };
 
@@ -93,6 +101,12 @@ struct ClusterSnapshot {
   std::vector<DeviceSnapshot> devices;
   /// Groups placed on a non-preferred device (work-stealing fallback).
   std::uint64_t stolen_groups = 0;
+  // Chaos accounting.
+  std::uint64_t device_failures = 0;
+  std::uint64_t device_revives = 0;
+  /// Requests re-queued off a dead device (stranded groups + groups whose
+  /// placement raced the failure), none lost.
+  std::uint64_t requeued_requests = 0;
 };
 
 class ClusterServer {
@@ -106,7 +120,8 @@ class ClusterServer {
 
   /// Warms every device (the only place planning/tuning happen anywhere in
   /// the fleet), builds the Router from the per-device bucket predictions,
-  /// and starts the scheduler.
+  /// and starts the scheduler. Checks (throws convbound::Error) on a second
+  /// start() or a start() after stop().
   void start();
 
   /// Closes the fleet queue, drains the scheduler and every device, and
@@ -114,8 +129,27 @@ class ClusterServer {
   void stop();
 
   /// Thread-safe; never blocks. kRejected when the fleet queue is full,
-  /// kShutdown after stop(). Requests may be queued before start().
+  /// kQuotaExceeded when the request's class is over its weighted-fair
+  /// share under overload, and kShutdown after stop() (the queue's closed
+  /// state decides shutdown races — a submit that loses to a concurrent
+  /// stop() always resolves, never hangs). Requests may be queued before
+  /// start().
   std::future<InferResponse> submit(InferRequest request);
+
+  /// Chaos: kills device `i` mid-flight. Its running batch completes with
+  /// real statuses; every queued-but-unstarted group is pulled back, its
+  /// Router reservation released, and its requests re-queued through the
+  /// front queue so the surviving devices absorb them via the Router's
+  /// steal path — zero silent loss. Returns the number of re-queued
+  /// requests. Valid after start().
+  std::size_t fail_device(std::size_t i);
+
+  /// Brings a failed device back (kWarm: restart with its surviving warm
+  /// engine; kCold: rebuild + re-warm from scratch — a hot-join). The
+  /// Router's cost table for the device is refreshed from the revived
+  /// engine's warm-time bucket predictions before placement resumes; the
+  /// rest of the fleet keeps serving throughout. Valid after start().
+  void revive_device(std::size_t i, ReviveMode mode);
 
   ClusterSnapshot stats() const;
 
@@ -129,8 +163,14 @@ class ClusterServer {
   const ClusterOptions& options() const { return opts_; }
 
  private:
+  /// Returns a failed-placement group's requests to the front queue (or
+  /// answers them kShutdown when it is closed). Returns how many were
+  /// re-queued (all of them, unless shut down).
+  std::size_t requeue_group(std::vector<PendingRequest> group);
+
   ClusterOptions opts_;
   std::map<std::string, ServedModel> models_;
+  TenantTable tenants_;
   /// Front-door counters (submitted / rejected / queue watermark); each
   /// device records its own execution-side stats.
   ServerStats stats_;
@@ -140,6 +180,10 @@ class ClusterServer {
   std::unique_ptr<BatchScheduler> scheduler_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+  // Chaos accounting.
+  std::atomic<std::uint64_t> device_failures_{0};
+  std::atomic<std::uint64_t> device_revives_{0};
+  std::atomic<std::uint64_t> requeued_requests_{0};
 };
 
 }  // namespace convbound

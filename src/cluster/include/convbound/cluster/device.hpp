@@ -2,7 +2,7 @@
 //
 // A ClusterDevice pairs a ServeEngine (bound-guided buckets, per-model
 // planners, TuneCache, warm SessionPool — all chosen against *this
-// device's* MachineSpec) with its own executor worker pool and its own
+// device's* MachineSpec) with its own executor workers and its own
 // ServerStats. Devices share the fleet's immutable ServedModel weights but
 // nothing mutable: planning on one device never touches another, and the
 // per-device zero-plan-miss / zero-alloc steady-state invariant holds
@@ -10,15 +10,28 @@
 //
 // The device does not pull work; the cluster's scheduler pushes groups the
 // Router placed on it via enqueue(). Admission control lives in the Router
-// (per-device pending caps), so the pool's internal task queue stays
+// (per-device pending caps), so the device's internal task queue stays
 // shallow by construction.
+//
+// Chaos lifecycle: fail() kills the device mid-flight — workers stop after
+// the batch they are running (its requests complete normally and its
+// on_done releases the Router reservation), and every queued-but-unstarted
+// group is handed back to the caller so the cluster can re-queue it through
+// the Router's surviving devices (zero silent loss). revive() brings the
+// device back: kWarm reuses the existing warm engine (sessions and plans
+// survived the failure — a restart), kCold rebuilds the whole engine from
+// scratch and re-warms it (a replacement device hot-joining the fleet).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "convbound/machine/machine_spec.hpp"
@@ -26,7 +39,6 @@
 #include "convbound/serve/model.hpp"
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/stats.hpp"
-#include "convbound/util/thread_pool.hpp"
 
 namespace convbound {
 
@@ -48,42 +60,101 @@ struct DeviceConfig {
   }
 };
 
+/// How a failed device comes back; see ClusterDevice::revive().
+enum class ReviveMode {
+  kWarm,  ///< restart: the warm engine (plans, sessions) survived
+  kCold,  ///< replacement: rebuild + re-warm the engine from scratch
+};
+
 class ClusterDevice {
  public:
+  /// A Router-placed group a failed device never started. The cluster
+  /// re-queues its requests; on_done is the pending Router reservation.
+  struct StrandedGroup {
+    std::vector<PendingRequest> group;
+    std::string model;
+    std::function<void()> on_done;
+  };
+
   /// `models` is unowned and must outlive the device (the cluster owns one
   /// map shared by the whole fleet).
   ClusterDevice(const std::map<std::string, ServedModel>& models,
                 DeviceConfig config, const EngineOptions& engine_opts);
+  ~ClusterDevice();
 
   ClusterDevice(const ClusterDevice&) = delete;
   ClusterDevice& operator=(const ClusterDevice&) = delete;
 
-  /// Warms the engine (all planning/tuning) and starts the worker pool.
+  /// Warms the engine (all planning/tuning) and starts the workers.
   void start();
 
   /// Runs every queued group to completion and joins the workers.
   /// Idempotent.
   void drain();
 
-  /// Queues one Router-placed group for execution. `on_done` runs after the
-  /// group completes (success or failure) — the cluster uses it to return
-  /// the Router reservation.
-  void enqueue(std::vector<PendingRequest> group, const std::string& model,
+  /// Queues one Router-placed group for execution; true on acceptance.
+  /// `on_done` runs after the group completes (success or failure) — the
+  /// cluster uses it to return the Router reservation. False when the
+  /// device is dead (or not running): the group is moved from ONLY on
+  /// acceptance, so on refusal the caller still holds every request
+  /// (promises intact) and owns its requeue.
+  bool enqueue(std::vector<PendingRequest>&& group, const std::string& model,
                std::function<void()> on_done);
+
+  /// Chaos: kills the device. Workers stop after their current batch (its
+  /// requests complete with real statuses and its on_done runs); every
+  /// queued-but-unstarted group is returned to the caller, promises and
+  /// Router reservations intact. Idempotent (a dead device strands
+  /// nothing).
+  std::vector<StrandedGroup> fail();
+
+  /// Brings a failed device back and restarts its workers. kCold rebuilds
+  /// the engine against the same spec and re-warms it — the only planning
+  /// that ever happens after fleet start, and it happens entirely on the
+  /// caller's thread so the running fleet never stalls.
+  void revive(ReviveMode mode);
+
+  bool alive() const;
 
   /// Device-side counters (batches, latencies, plan misses, workspace).
   StatsSnapshot stats() const;
 
   const std::string& name() const { return config_.name; }
   const DeviceConfig& config() const { return config_; }
-  ServeEngine& engine() { return engine_; }
-  const ServeEngine& engine() const { return engine_; }
+  ServeEngine& engine() { return *engine_; }
+  const ServeEngine& engine() const { return *engine_; }
 
  private:
+  struct Task {
+    std::vector<PendingRequest> group;
+    std::string model;
+    std::function<void()> on_done;
+  };
+
+  enum class Mode { kRunning, kDraining, kFailing };
+
+  void spawn_workers();
+  void worker_loop();
+  /// Joins (and clears) the workers; callable with mu_ released only.
+  void join_workers();
+
   DeviceConfig config_;
+  const std::map<std::string, ServedModel>* models_;
+  EngineOptions engine_opts_;
   ServerStats stats_;
-  ServeEngine engine_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Behind a pointer so a cold revive can rebuild it; engine_mu_ guards
+  /// the pointer swap against concurrent stats() polls (workers are always
+  /// joined before a swap, so execution never races it).
+  std::unique_ptr<ServeEngine> engine_;
+  mutable std::mutex engine_mu_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  std::vector<std::thread> workers_;
+  Mode mode_ = Mode::kRunning;
+  bool started_ = false;
+  bool alive_ = false;
 };
 
 }  // namespace convbound

@@ -91,14 +91,33 @@ class Router {
   /// reporting.
   int preferred_device(const std::string& model) const;
 
-  /// Blocks until some device is below its pending cap, places a group of
-  /// `model` on the best such device, and returns that device's placement
-  /// (its bucket for the model + its index). Each reserve() must be paired
-  /// with exactly one complete().
+  /// Blocks until some *alive* device is below its pending cap, places a
+  /// group of `model` on the best such device, and returns that device's
+  /// placement (its bucket for the model + its index). Each reserve() must
+  /// be paired with exactly one complete(). When the fleet is fully dead
+  /// and close() was called, returns device = -1 instead of blocking
+  /// forever — the caller owns the unplaced group (shutdown path).
   Placement reserve(const std::string& model);
 
   /// Frees the capacity reserved for one group of `model` on `device`.
   void complete(int device, const std::string& model);
+
+  /// Chaos lifecycle: a dead device is excluded from preference and
+  /// placement (the existing steal path routes around it); set_alive(true)
+  /// re-admits it and wakes blocked reserve() calls. Pending accounting is
+  /// untouched — in-flight reservations still complete() normally.
+  void set_alive(int device, bool alive);
+  bool alive(int device) const;
+
+  /// Replaces one device's cost table (hot-join: a cold-revived engine
+  /// re-predicts its buckets/batch times at warm time). The virtual clock
+  /// keeps its history so accumulated load still counts against the device.
+  void update_costs(int device, std::map<std::string, ModelCost> costs);
+
+  /// Marks the router shutting down: reserve() on a fully-dead fleet stops
+  /// blocking and returns device = -1. Placement on live devices continues
+  /// (stop() drains the queue through them).
+  void close();
 
   struct Snapshot {
     std::vector<std::uint64_t> placements;  ///< groups placed per device
@@ -110,6 +129,7 @@ class Router {
     std::vector<int> pending_groups;
     /// Per-device virtual clocks (predicted modelled busy seconds, total).
     std::vector<double> virtual_seconds;
+    std::vector<bool> alive;
   };
   Snapshot snapshot() const;
 
@@ -122,13 +142,16 @@ class Router {
     int pending_groups = 0;
     double virtual_seconds = 0;
     std::uint64_t placements = 0;
+    bool alive = true;
   };
 
   const ModelCost& cost(const DeviceState& d, const std::string& model) const;
   double score(const DeviceState& d, const std::string& model) const;
-  /// Best device for `model` under `policy_`; when `only_available`, skip
-  /// devices at their pending cap (-1 if none qualifies).
+  /// Best *alive* device for `model` under `policy_`; when
+  /// `only_available`, also skip devices at their pending cap (-1 if none
+  /// qualifies).
   int pick(const std::string& model, bool only_available) const;
+  bool any_alive_locked() const;
 
   RoutePolicy policy_;
   mutable std::mutex mu_;
@@ -136,6 +159,7 @@ class Router {
   std::vector<DeviceState> devices_;
   std::uint64_t stolen_ = 0;
   int rr_next_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace convbound

@@ -11,11 +11,16 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
                              ClusterOptions opts)
     : opts_(std::move(opts)),
       models_(index_models(std::move(models))),
+      tenants_(opts_.classes),
       queue_(opts_.max_queue) {
   CB_CHECK_MSG(!opts_.devices.empty(), "cluster needs at least one device");
+  queue_.set_tenancy(&tenants_, opts_.admission_congestion);
   // The fleet queue answers expired requests itself (promptly, freeing
   // capacity); they never reach a device, so the front door counts them.
-  queue_.set_on_expired([this](std::size_t n) { stats_.record_expired(n); });
+  queue_.set_on_expired([this](std::size_t cls, std::size_t n) {
+    stats_.record_expired(
+        n, cls < tenants_.size() ? tenants_.cls(cls).name : std::string());
+  });
   const EngineOptions eopts = opts_.engine_options();
   for (std::size_t i = 0; i < opts_.devices.size(); ++i) {
     DeviceConfig cfg = opts_.devices[i];
@@ -29,6 +34,7 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
 ClusterServer::~ClusterServer() { stop(); }
 
 void ClusterServer::start() {
+  CB_CHECK_MSG(!stopped_, "cluster cannot restart after stop()");
   CB_CHECK_MSG(!started_, "cluster already started");
   // Devices warm serially here but each warm() parallelises internally
   // across the global pool, so fleet startup still scales with cores.
@@ -60,9 +66,25 @@ void ClusterServer::start() {
       [this](const std::string& m) { return router_->reserve(m); },
       [this](std::vector<PendingRequest> group, const std::string& m,
              const Placement& p) {
-        devices_[static_cast<std::size_t>(p.device)]->enqueue(
-            std::move(group), m,
-            [this, d = p.device, m] { router_->complete(d, m); });
+        // device < 0: the router bailed out of a fully-dead closing fleet
+        // (no reservation held). The group was collected off the closed
+        // queue, so its requests resolve kShutdown via requeue_group.
+        if (p.device < 0) {
+          requeue_group(std::move(group));
+          return;
+        }
+        const bool accepted = devices_[static_cast<std::size_t>(p.device)]
+                                  ->enqueue(std::move(group), m,
+                                            [this, d = p.device, m] {
+                                              router_->complete(d, m);
+                                            });
+        if (!accepted) {
+          // The device died between reserve() and enqueue(). enqueue left
+          // the group with us; release the reservation and send every
+          // request back through the front queue (zero loss).
+          router_->complete(p.device, m);
+          requeued_requests_ += requeue_group(std::move(group));
+        }
       });
   stats_.mark_start();
   started_ = true;
@@ -72,6 +94,10 @@ void ClusterServer::start() {
 void ClusterServer::stop() {
   if (stopped_.exchange(true)) return;
   queue_.close();
+  // Closing the router lets a reserve() blocked on a fully-dead fleet
+  // return (device = -1) instead of deadlocking the scheduler join below;
+  // placement on live devices is unaffected, so the drain still serves.
+  if (router_ != nullptr) router_->close();
   // The scheduler drains the closed queue (placing every remaining group),
   // then exits; devices must stay alive until it joins because reserve()
   // unblocks only through their completions.
@@ -88,8 +114,13 @@ void ClusterServer::stop() {
 std::future<InferResponse> ClusterServer::submit(InferRequest request) {
   validate_request(models_, request);
   PendingRequest p;
+  p.class_index = tenants_.resolve(request.tenant);
+  p.tenant_class = tenants_.cls(p.class_index).name;
   p.request = std::move(request);
   p.enqueued = ServeClock::now();
+  p.class_deadline = tenants_.effective_deadline(p.class_index, p.enqueued,
+                                                 ServeTimePoint::max());
+  const std::string cls = p.tenant_class;
   std::future<InferResponse> fut = p.promise.get_future();
 
   if (stopped_) {
@@ -98,22 +129,94 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
     p.promise.set_value(std::move(r));
     return fut;
   }
-  if (!queue_.push(std::move(p))) {
-    // `p` is untouched on a failed push (full or closed); stop() flips
-    // stopped_ before closing the queue, so re-reading it distinguishes a
-    // shutdown race from genuine backpressure.
-    InferResponse r;
-    if (stopped_) {
-      r.status = ServeStatus::kShutdown;
-    } else {
+  // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
+  // re-read of stopped_) decides shutdown races, so a submit that loses to
+  // a concurrent stop() resolves kShutdown instead of hanging.
+  switch (queue_.push(std::move(p))) {
+    case RequestQueue::Admit::kOk:
+      stats_.record_submitted(queue_.depth(), cls);
+      return fut;
+    case RequestQueue::Admit::kFull: {
+      InferResponse r;
       r.status = ServeStatus::kRejected;
-      stats_.record_rejected();
+      stats_.record_rejected(cls);
+      p.promise.set_value(std::move(r));
+      return fut;
     }
-    p.promise.set_value(std::move(r));
-    return fut;
+    case RequestQueue::Admit::kQuota: {
+      InferResponse r;
+      r.status = ServeStatus::kQuotaExceeded;
+      stats_.record_quota_rejected(cls);
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
+    case RequestQueue::Admit::kClosed: {
+      InferResponse r;
+      r.status = ServeStatus::kShutdown;
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
   }
-  stats_.record_submitted(queue_.depth());
-  return fut;
+  return fut;  // unreachable
+}
+
+std::size_t ClusterServer::requeue_group(std::vector<PendingRequest> group) {
+  std::size_t requeued = 0;
+  for (auto& p : group) {
+    if (queue_.readmit(std::move(p))) {
+      ++requeued;
+    } else {
+      // Queue closed: the fleet is shutting down; resolve instead of
+      // re-queueing into a queue nobody will drain for serving.
+      InferResponse r;
+      r.status = ServeStatus::kShutdown;
+      p.promise.set_value(std::move(r));
+    }
+  }
+  return requeued;
+}
+
+std::size_t ClusterServer::fail_device(std::size_t i) {
+  CB_CHECK_MSG(started_, "fail_device() before start()");
+  CB_CHECK_MSG(i < devices_.size(), "fail_device() for unknown device " << i);
+  // Order matters: mark the device dead in the router first so no *new*
+  // placement lands on it, then strand whatever its queue already held.
+  // A placement that raced past set_alive is bounced by enqueue() and
+  // re-queued by the dispatch path above — either way, zero loss.
+  router_->set_alive(static_cast<int>(i), false);
+  std::vector<ClusterDevice::StrandedGroup> stranded = devices_[i]->fail();
+  ++device_failures_;
+  std::size_t requeued = 0;
+  for (auto& s : stranded) {
+    // The reservation pinned by the stranded group returns first so the
+    // surviving devices' capacity accounting is exact before the requests
+    // re-enter the queue.
+    if (s.on_done) s.on_done();
+    requeued += requeue_group(std::move(s.group));
+  }
+  requeued_requests_ += requeued;
+  return requeued;
+}
+
+void ClusterServer::revive_device(std::size_t i, ReviveMode mode) {
+  CB_CHECK_MSG(started_, "revive_device() before start()");
+  CB_CHECK_MSG(i < devices_.size(),
+               "revive_device() for unknown device " << i);
+  devices_[i]->revive(mode);
+  // Hot-join: refresh the router's cost row from the revived engine's
+  // warm-time predictions *before* re-admitting the device, so the first
+  // placement after the join already sees the rebuilt buckets. The rest of
+  // the fleet keeps placing on its own rows throughout.
+  std::map<std::string, Router::ModelCost> costs;
+  for (const auto& [name, model] : models_) {
+    Router::ModelCost cost;
+    cost.bucket = devices_[i]->engine().bucket_of(name);
+    cost.batch_seconds = devices_[i]->engine().predicted_batch_seconds(name);
+    costs.emplace(name, cost);
+  }
+  router_->update_costs(static_cast<int>(i), std::move(costs));
+  router_->set_alive(static_cast<int>(i), true);
+  ++device_revives_;
 }
 
 ClusterSnapshot ClusterServer::stats() const {
@@ -123,6 +226,9 @@ ClusterSnapshot ClusterServer::stats() const {
   // keeps a stats() poll racing start() off the half-built pointer.
   if (started_) route = router_->snapshot();
   snap.stolen_groups = route.stolen;
+  snap.device_failures = device_failures_;
+  snap.device_revives = device_revives_;
+  snap.requeued_requests = requeued_requests_;
 
   std::vector<StatsSnapshot> parts;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -130,6 +236,7 @@ ClusterSnapshot ClusterServer::stats() const {
     d.name = devices_[i]->name();
     d.spec_name = devices_[i]->config().spec.name;
     d.stats = devices_[i]->stats();
+    d.alive = i < route.alive.size() ? route.alive[i] : devices_[i]->alive();
     if (i < route.placements.size()) d.placements = route.placements[i];
     parts.push_back(d.stats);
     snap.devices.push_back(std::move(d));
@@ -139,11 +246,20 @@ ClusterSnapshot ClusterServer::stats() const {
   // Front-door truth overrides the merge: devices never see submissions or
   // rejections, and the fleet clock starts at cluster start(). Requests the
   // fleet queue expired before placement are the front door's too — they
-  // add to the devices' collect-time expirations.
+  // add to the devices' collect-time expirations, as do the front door's
+  // per-class slices (submits, rejections, queue-side expiry).
   const StatsSnapshot front = stats_.snapshot();
   snap.fleet.submitted = front.submitted;
   snap.fleet.rejected = front.rejected;
+  snap.fleet.quota_rejected = front.quota_rejected;
   snap.fleet.expired += front.expired;
+  for (const auto& [name, part] : front.classes) {
+    ClassSnapshot& c = snap.fleet.classes[name];
+    c.submitted = part.submitted;
+    c.rejected = part.rejected;
+    c.quota_rejected = part.quota_rejected;
+    c.expired += part.expired;
+  }
   snap.fleet.wall_seconds = front.wall_seconds;
   snap.fleet.throughput_rps =
       front.wall_seconds > 0

@@ -4,54 +4,164 @@
 
 namespace convbound {
 
+namespace {
+
+EngineOptions device_engine_options(const EngineOptions& base,
+                                    const DeviceConfig& config) {
+  EngineOptions e = base;
+  e.machine = config.spec;
+  e.replicas = config.effective_replicas();
+  return e;
+}
+
+}  // namespace
+
 ClusterDevice::ClusterDevice(const std::map<std::string, ServedModel>& models,
                              DeviceConfig config,
                              const EngineOptions& engine_opts)
     : config_(std::move(config)),
-      engine_(models,
-              [&] {
-                EngineOptions e = engine_opts;
-                e.machine = config_.spec;
-                e.replicas = config_.effective_replicas();
-                return e;
-              }(),
-              &stats_) {
+      models_(&models),
+      engine_opts_(engine_opts),
+      engine_(std::make_unique<ServeEngine>(
+          models, device_engine_options(engine_opts, config_), &stats_)) {
   CB_CHECK_MSG(config_.workers >= 1, "device workers must be >= 1");
   if (config_.name.empty()) config_.name = config_.spec.name;
 }
 
+ClusterDevice::~ClusterDevice() { drain(); }
+
 void ClusterDevice::start() {
-  CB_CHECK_MSG(pool_ == nullptr, "device already started");
-  engine_.warm();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CB_CHECK_MSG(!started_, "device already started");
+    started_ = true;
+  }
+  engine_->warm();
   stats_.mark_start();
-  pool_ = std::make_unique<ThreadPool>(
-      static_cast<std::size_t>(config_.workers));
+  spawn_workers();
 }
 
-void ClusterDevice::drain() { pool_.reset(); }
+void ClusterDevice::spawn_workers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CB_CHECK_MSG(workers_.empty(), "device workers already running");
+  mode_ = Mode::kRunning;
+  alive_ = true;
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
 
-void ClusterDevice::enqueue(std::vector<PendingRequest> group,
+void ClusterDevice::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return mode_ != Mode::kRunning || !tasks_.empty(); });
+      // kFailing abandons the queue (fail() strands it for the cluster to
+      // re-route); kDraining runs it dry first.
+      if (mode_ == Mode::kFailing) return;
+      if (tasks_.empty()) return;  // kDraining and dry
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    // RAII: the Router reservation must return even if execute_batch has a
+    // defect (a leak would silently shrink the device's capacity until the
+    // fleet deadlocks).
+    struct Done {
+      std::function<void()>* fn;
+      ~Done() {
+        if (*fn) (*fn)();
+      }
+    } run_done{&task.on_done};
+    engine_->execute_batch(std::move(task.group), task.model);
+  }
+}
+
+void ClusterDevice::join_workers() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers) w.join();
+}
+
+void ClusterDevice::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty()) return;
+    mode_ = Mode::kDraining;
+  }
+  join_workers();
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_ = false;
+}
+
+bool ClusterDevice::enqueue(std::vector<PendingRequest>&& group,
                             const std::string& model,
                             std::function<void()> on_done) {
-  CB_CHECK_MSG(pool_ != nullptr, "device not started");
-  (void)pool_->submit(
-      [this, g = std::move(group), model, done = std::move(on_done)]() mutable {
-        // RAII: the Router reservation must return even if execute_batch
-        // has a defect (the task future is discarded, so a leak would
-        // silently shrink the device's capacity until the fleet deadlocks).
-        struct Done {
-          std::function<void()>* fn;
-          ~Done() {
-            if (*fn) (*fn)();
-          }
-        } run_done{&done};
-        engine_.execute_batch(std::move(g), model);
-      });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CB_CHECK_MSG(started_, "device not started");
+    // Refusal must leave `group` untouched: taking the vector by value here
+    // would destroy the requests (and break their promises) the instant a
+    // dead device bounced a placement that raced fail().
+    if (!alive_ || mode_ != Mode::kRunning) return false;
+    tasks_.push_back(Task{std::move(group), model, std::move(on_done)});
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<ClusterDevice::StrandedGroup> ClusterDevice::fail() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!alive_) return {};
+    mode_ = Mode::kFailing;
+    alive_ = false;  // enqueue() starts bouncing immediately
+  }
+  join_workers();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StrandedGroup> stranded;
+  stranded.reserve(tasks_.size());
+  for (Task& t : tasks_)
+    stranded.push_back(
+        StrandedGroup{std::move(t.group), std::move(t.model),
+                      std::move(t.on_done)});
+  tasks_.clear();
+  return stranded;
+}
+
+void ClusterDevice::revive(ReviveMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CB_CHECK_MSG(started_, "cannot revive a never-started device");
+    CB_CHECK_MSG(!alive_ && workers_.empty(),
+                 "revive() on a live device '" << config_.name << "'");
+  }
+  if (mode == ReviveMode::kCold) {
+    // Rebuild + re-warm off to the side, then swap under the stats lock:
+    // pollers never see a half-built engine, and the fleet keeps serving on
+    // the other devices the whole time.
+    auto fresh = std::make_unique<ServeEngine>(
+        *models_, device_engine_options(engine_opts_, config_), &stats_);
+    fresh->warm();
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_ = std::move(fresh);
+  }
+  spawn_workers();
+}
+
+bool ClusterDevice::alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_;
 }
 
 StatsSnapshot ClusterDevice::stats() const {
   StatsSnapshot s = stats_.snapshot();
-  engine_.fill_stats(s);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_->fill_stats(s);
   return s;
 }
 

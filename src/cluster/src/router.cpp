@@ -55,13 +55,21 @@ double Router::score(const DeviceState& d, const std::string& model) const {
          static_cast<double>(c.bucket);
 }
 
+bool Router::any_alive_locked() const {
+  for (const DeviceState& d : devices_)
+    if (d.alive) return true;
+  return false;
+}
+
 int Router::pick(const std::string& model, bool only_available) const {
   const int n = size();
+  // Dead devices are invisible to both preference and placement: excluding
+  // them here is what routes a dead device's traffic through the existing
+  // steal path instead of a separate failover mechanism.
   auto available = [&](int i) {
-    return !only_available || devices_[static_cast<std::size_t>(i)]
-                                      .pending_groups <
-                                  devices_[static_cast<std::size_t>(i)]
-                                      .entry.max_pending_groups;
+    const DeviceState& d = devices_[static_cast<std::size_t>(i)];
+    if (!d.alive) return false;
+    return !only_available || d.pending_groups < d.entry.max_pending_groups;
   };
 
   if (policy_ == RoutePolicy::kRoundRobin) {
@@ -101,8 +109,13 @@ Placement Router::reserve(const std::string& model) {
   int chosen = -1;
   cv_.wait(lock, [&] {
     chosen = pick(model, /*only_available=*/true);
-    return chosen >= 0;
+    // A fully-dead fleet blocks (a revive may restore capacity) unless the
+    // router is closing — then the caller gets device = -1 and owns the
+    // group, instead of stop() deadlocking behind a reserve() that can
+    // never succeed.
+    return chosen >= 0 || (closed_ && !any_alive_locked());
   });
+  if (chosen < 0) return Placement{1, -1};
   // The steal counter compares against the unconstrained preference: a
   // group landing somewhere other than its best device means the fallback
   // kicked in. Round-robin has no cost preference — a saturated device
@@ -142,6 +155,44 @@ void Router::complete(int device, const std::string& model) {
   cv_.notify_all();
 }
 
+void Router::set_alive(int device, bool alive) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CB_CHECK_MSG(device >= 0 && device < size(),
+                 "set_alive() for unknown device " << device);
+    devices_[static_cast<std::size_t>(device)].alive = alive;
+  }
+  // A revive restores capacity a blocked reserve() may be waiting for; a
+  // kill may flip a blocked reserve() into the closed-fleet bailout.
+  cv_.notify_all();
+}
+
+bool Router::alive(int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CB_CHECK_MSG(device >= 0 && device < size(),
+               "alive() for unknown device " << device);
+  return devices_[static_cast<std::size_t>(device)].alive;
+}
+
+void Router::update_costs(int device, std::map<std::string, ModelCost> costs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CB_CHECK_MSG(device >= 0 && device < size(),
+               "update_costs() for unknown device " << device);
+  CB_CHECK_MSG(!costs.empty(), "device '"
+                                   << devices_[static_cast<std::size_t>(device)]
+                                          .entry.name
+                                   << "' cost update has no model costs");
+  devices_[static_cast<std::size_t>(device)].entry.costs = std::move(costs);
+}
+
+void Router::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
 Router::Snapshot Router::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
@@ -150,6 +201,7 @@ Router::Snapshot Router::snapshot() const {
     s.placements.push_back(d.placements);
     s.pending_groups.push_back(d.pending_groups);
     s.virtual_seconds.push_back(d.virtual_seconds);
+    s.alive.push_back(d.alive);
   }
   return s;
 }

@@ -1,14 +1,28 @@
-// Thread-safe bounded request queue.
+// Thread-safe bounded request queue with EDF ordering and weighted-fair
+// admission.
 //
-// Many client threads push; one BatchScheduler thread inspects the oldest
-// entry and collects same-model groups. Bounded capacity is the server's
-// backpressure mechanism: push fails instead of blocking, so overload turns
-// into explicit rejections rather than unbounded latency.
+// Many client threads push; one BatchScheduler thread inspects the most
+// urgent entry and collects same-model groups. Bounded capacity is the
+// server's backpressure mechanism: push fails instead of blocking, so
+// overload turns into explicit rejections rather than unbounded latency.
+//
+// Ordering is earliest-deadline-first on the *effective* deadline — the
+// request's explicit deadline ANDed with its tenant class's latency budget
+// (ties broken by arrival time, so budget-free traffic degrades to FIFO).
+// wait_front() surfaces the most urgent entry's model; collect() gathers
+// that model's requests most-urgent-first.
+//
+// Admission is two-tier. Below the congestion threshold the queue is
+// work-conserving: any class may use any free slot. At or above it, each
+// class is capped at its weighted-fair share of capacity
+// (weight_c / sum(weights) x capacity, min 1), so a flood of low-priority
+// traffic cannot starve a high-priority class of headroom; over-share
+// pushes fail with Admit::kQuota and the server answers kQuotaExceeded.
 //
 // The queue owns deadline expiry for whatever sits in it: wait_front() and
-// collect() first sweep out every entry whose deadline has passed,
-// completing its promise with kDeadlineExceeded immediately — a dead
-// request is answered promptly (instead of riding the full max-delay +
+// collect() first sweep out every entry whose effective deadline has
+// passed, completing its promise with kDeadlineExceeded immediately — a
+// dead request is answered promptly (instead of riding the full max-delay +
 // executor-slot wait to batch-collect time) and stops occupying queue
 // capacity the backpressure policy charges live traffic for. The engine's
 // own collect-time deadline check stays as the backstop for requests that
@@ -25,47 +39,82 @@
 #include <vector>
 
 #include "convbound/serve/request.hpp"
+#include "convbound/serve/tenancy.hpp"
 
 namespace convbound {
 
-/// A queued request plus its completion promise and arrival time.
+/// A queued request plus its completion promise, arrival time, and the
+/// tenant-class fields the submit path resolved for it. Defaults keep the
+/// struct usable without any tenancy configuration.
 struct PendingRequest {
   InferRequest request;
   std::promise<InferResponse> promise;
   ServeTimePoint enqueued{};
+  std::size_t class_index = 0;
+  /// Resolved class name ("" for the anonymous default) — carried so the
+  /// executor can attribute latency/expiry to the class without a table.
+  std::string tenant_class;
+  /// enqueued + class latency budget; max() when the class has no budget.
+  ServeTimePoint class_deadline = ServeTimePoint::max();
+
+  /// The deadline EDF ordering and expiry act on.
+  ServeTimePoint effective_deadline() const {
+    return request.deadline < class_deadline ? request.deadline
+                                             : class_deadline;
+  }
 };
 
 class RequestQueue {
  public:
+  /// Push verdict. The caller completes the promise itself on non-kOk:
+  /// kFull -> kRejected, kQuota -> kQuotaExceeded, kClosed -> kShutdown.
+  /// Returning kClosed (instead of making the caller re-read its own
+  /// stopped flag) is what makes submit-vs-stop race-free: the queue's
+  /// mutex decides which side won.
+  enum class Admit { kOk, kFull, kQuota, kClosed };
+
   explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
-  /// Called with the number of requests the queue just expired (their
-  /// promises are already completed with kDeadlineExceeded). Set once,
-  /// before any thread touches the queue; the owner uses it to keep its
-  /// `expired` counter in step with the resolved futures.
-  void set_on_expired(std::function<void(std::size_t)> fn) {
+  /// Installs the tenant table quota admission consults. `table` must
+  /// outlive the queue and be called before any thread touches it; without
+  /// one, every entry is class 0 and quota never binds (single-tenant
+  /// behaviour). `congestion` in [0,1] is the fill fraction at which
+  /// per-class shares start binding.
+  void set_tenancy(const TenantTable* table, double congestion);
+
+  /// Called with (class index, count) for requests the queue just expired
+  /// (their promises are already completed with kDeadlineExceeded). Set
+  /// once, before any thread touches the queue; the owner uses it to keep
+  /// its `expired` counters in step with the resolved futures.
+  void set_on_expired(std::function<void(std::size_t, std::size_t)> fn) {
     on_expired_ = std::move(fn);
   }
 
-  /// False when the queue is full or closed (the caller completes the
-  /// promise with kRejected / kShutdown itself). A full queue is swept for
-  /// expired entries before the rejection stands — dead occupants never
-  /// cost live traffic a kRejected.
-  bool push(PendingRequest&& p);
+  /// Admission-checked insert; see Admit. A full queue (or an over-quota
+  /// class) is swept for expired entries before the rejection stands —
+  /// dead occupants never cost live traffic a rejection.
+  Admit push(PendingRequest&& p);
+
+  /// Re-inserts a request that already passed admission once (device-loss
+  /// requeue). Bypasses capacity and quota — the request must not be
+  /// silently lost to backpressure it already cleared — but respects
+  /// close(): false means the queue is closed and the caller owns the
+  /// promise (shutdown path).
+  bool readmit(PendingRequest&& p);
 
   /// Blocks until the queue holds a live (non-expired) entry or is closed.
   /// Expired entries encountered while waiting are answered and dropped.
-  /// True with the oldest live entry's model + arrival time; false when
-  /// closed and drained.
+  /// True with the most urgent live entry's model + arrival time (EDF
+  /// order); false when closed and drained.
   bool wait_front(std::string* model, ServeTimePoint* enqueued);
 
   /// Waits until `max_n` live requests of `model` are queued, `deadline`
   /// passes, or the queue closes; then removes and returns up to `max_n` of
-  /// them, oldest first (possibly empty if another collector raced them
-  /// away). Expired entries of *any* model are answered and dropped along
-  /// the way rather than collected.
+  /// them, most urgent first (possibly empty if another collector raced
+  /// them away). Expired entries of *any* model are answered and dropped
+  /// along the way rather than collected.
   std::vector<PendingRequest> collect(const std::string& model,
                                       std::size_t max_n,
                                       ServeTimePoint deadline);
@@ -79,18 +128,36 @@ class RequestQueue {
 
   std::size_t depth() const;
   std::size_t capacity() const { return capacity_; }
+  /// Queued entries of class `i` (for tests and admission introspection).
+  std::size_t class_depth(std::size_t i) const;
 
  private:
-  /// Answers (kDeadlineExceeded) and removes every entry whose deadline is
-  /// before `now`; reports the count through on_expired_. Caller holds mu_.
+  /// Answers (kDeadlineExceeded) and removes every entry whose effective
+  /// deadline is before `now`; reports per-class counts through
+  /// on_expired_. Caller holds mu_.
   void expire_locked(ServeTimePoint now);
+
+  /// Weighted-fair share of `capacity_` for class `i` (>= 1). Caller holds
+  /// mu_ (reads only immutable tenancy config, but keeps the contract
+  /// uniform).
+  std::size_t class_share(std::size_t i) const;
+
+  /// Index of the entry with the smallest (effective_deadline, enqueued),
+  /// or items_.size() when empty. Caller holds mu_.
+  std::size_t most_urgent_locked() const;
+
+  void bump_class(std::size_t i, std::ptrdiff_t delta);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> items_;
   std::size_t capacity_;
   bool closed_ = false;
-  std::function<void(std::size_t)> on_expired_;
+  std::function<void(std::size_t, std::size_t)> on_expired_;
+  const TenantTable* table_ = nullptr;
+  double congestion_ = 1.0;
+  double weight_sum_ = 1.0;
+  std::vector<std::size_t> class_depth_;  ///< per-class queued counts
 };
 
 }  // namespace convbound

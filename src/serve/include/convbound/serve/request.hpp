@@ -22,11 +22,17 @@ struct InferRequest {
   std::string model;
   Tensor4<float> input;  ///< [1, cin, hin, win], NCHW
   ServeTimePoint deadline = ServeTimePoint::max();
+  /// Tenant / priority class name. Resolved against the server's configured
+  /// TenantClass table at submit time; empty or unknown names fall into the
+  /// catch-all default class, so single-tenant callers never set it (the
+  /// default initializer keeps shorter aggregate inits warning-clean).
+  std::string tenant{};
 };
 
 enum class ServeStatus {
   kOk,
   kRejected,          ///< queue full on submit (backpressure)
+  kQuotaExceeded,     ///< class over its weighted-fair share under overload
   kDeadlineExceeded,  ///< deadline passed while queued
   kShutdown,          ///< server stopped before the request ran
   kError,             ///< execution failed; see InferResponse::error
@@ -36,6 +42,7 @@ inline const char* to_string(ServeStatus s) {
   switch (s) {
     case ServeStatus::kOk: return "ok";
     case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kQuotaExceeded: return "quota-exceeded";
     case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
     case ServeStatus::kShutdown: return "shutdown";
     case ServeStatus::kError: return "error";

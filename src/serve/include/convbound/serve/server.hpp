@@ -37,6 +37,7 @@
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/scheduler.hpp"
 #include "convbound/serve/stats.hpp"
+#include "convbound/serve/tenancy.hpp"
 #include "convbound/util/thread_pool.hpp"
 
 namespace convbound {
@@ -61,6 +62,12 @@ struct ServerOptions {
   PlanMode plan_mode = PlanMode::kMeasured;
   int tune_budget = 16;
   std::uint64_t seed = 42;
+  /// Tenant / priority classes (first = catch-all default). Empty keeps the
+  /// pre-tenancy single-class behaviour: FIFO-equivalent EDF, no quotas.
+  std::vector<TenantClass> classes;
+  /// Queue-fill fraction at which weighted-fair per-class shares start
+  /// binding; below it admission is work-conserving.
+  double admission_congestion = 0.5;
 
   /// The execution-side subset, as the engine wants it.
   EngineOptions engine_options() const {
@@ -90,7 +97,9 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Chooses buckets, builds + warms every session (the only place planning
-  /// and tuning happen), and starts the scheduler and workers.
+  /// and tuning happen), and starts the scheduler and workers. Checks
+  /// (throws convbound::Error) on a second start() or a start() after
+  /// stop(): the warm sessions are torn down by stop() and cannot restart.
   void start();
 
   /// Closes the queue, lets the scheduler drain it, and joins everything.
@@ -98,8 +107,11 @@ class InferenceServer {
   void stop();
 
   /// Thread-safe; never blocks. The future completes with kRejected when
-  /// the queue is full and kShutdown after stop(). Requests may be queued
-  /// before start(); they are served once the server starts.
+  /// the queue is full, kQuotaExceeded when the request's class is over its
+  /// weighted-fair share under overload, and kShutdown after stop() (the
+  /// queue's own closed state decides shutdown races, so a submit that
+  /// loses to a concurrent stop() always resolves — never hangs). Requests
+  /// may be queued before start(); they are served once the server starts.
   std::future<InferResponse> submit(InferRequest request);
 
   StatsSnapshot stats() const;
@@ -131,6 +143,7 @@ class InferenceServer {
 
   ServerOptions opts_;
   std::map<std::string, ServedModel> models_;
+  TenantTable tenants_;
   ServerStats stats_;
   ServeEngine engine_;
   RequestQueue queue_;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "convbound/serve/request.hpp"
@@ -22,13 +23,30 @@
 
 namespace convbound {
 
+/// Per-tenant-class slice of the counters. Populated only for requests
+/// that carry a resolved class name; a single-tenant server's snapshot has
+/// an empty `classes` map, exactly as before tenancy existed.
+struct ClassSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;        ///< backpressure (queue full)
+  std::uint64_t quota_rejected = 0;  ///< weighted-fair admission
+  std::uint64_t expired = 0;         ///< effective deadline passed
+  LatencyHistogram latency;
+  double latency_p50 = 0;
+  double latency_p99 = 0;
+  double latency_mean = 0;
+  double latency_max = 0;
+};
+
 /// Point-in-time copy of the server's counters with derived quantities.
 struct StatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;   ///< backpressure (queue full)
-  std::uint64_t expired = 0;    ///< deadline passed while queued
-  std::uint64_t failed = 0;     ///< execution errors
+  std::uint64_t rejected = 0;        ///< backpressure (queue full)
+  std::uint64_t quota_rejected = 0;  ///< over-share class under overload
+  std::uint64_t expired = 0;         ///< deadline passed while queued
+  std::uint64_t failed = 0;          ///< execution errors
   std::uint64_t batches = 0;
 
   double wall_seconds = 0;         ///< since mark_start()
@@ -54,6 +72,10 @@ struct StatsSnapshot {
   /// Live micro-batch size -> batch count.
   std::vector<std::pair<int, std::uint64_t>> batch_histogram;
   double mean_batch_size = 0;
+
+  /// Per-class slices keyed by resolved class name. Empty when the server
+  /// has no tenant classes configured.
+  std::map<std::string, ClassSnapshot> classes;
 
   std::size_t queue_depth = 0;      ///< at snapshot time
   std::size_t max_queue_depth = 0;  ///< high-water mark
@@ -82,31 +104,51 @@ class ServerStats {
  public:
   void mark_start();
 
-  void record_submitted(std::size_t queue_depth_after);
-  void record_rejected();
-  void record_expired(std::size_t n);
+  /// The `cls` parameters name the request's resolved tenant class; ""
+  /// (the default) skips per-class attribution, so single-tenant callers
+  /// pay nothing and see no class map.
+  void record_submitted(std::size_t queue_depth_after,
+                        const std::string& cls = {});
+  void record_rejected(const std::string& cls = {});
+  void record_quota_rejected(const std::string& cls = {});
+  void record_expired(std::size_t n, const std::string& cls = {});
   void record_failed(std::size_t n);
   /// One executed micro-batch: group size, modelled batch time, and the
-  /// per-request wall latencies.
+  /// per-request wall latencies. `classes`, when non-empty, runs parallel
+  /// to `latencies` and attributes each completion to its tenant class.
   void record_batch(std::size_t group, double sim_seconds,
-                    const std::vector<double>& latencies);
+                    const std::vector<double>& latencies,
+                    const std::vector<std::string>& classes = {});
 
   /// Derived values only; the session-pool and queue-depth fields are the
   /// server's to fill.
   StatsSnapshot snapshot() const;
 
  private:
+  /// Per-class accumulator (histogram + counters); caller holds mu_.
+  struct ClassCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t quota_rejected = 0;
+    std::uint64_t expired = 0;
+    LatencyHistogram latency;
+  };
+  ClassCounters& class_counters(const std::string& cls);
+
   mutable std::mutex mu_;
   ServeTimePoint start_{};
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t quota_rejected_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t batches_ = 0;
   double sim_seconds_ = 0;
   LatencyHistogram latency_;  ///< every completion, O(1) per record
   std::map<int, std::uint64_t> histogram_;
+  std::map<std::string, ClassCounters> classes_;
   std::size_t max_queue_depth_ = 0;
 };
 

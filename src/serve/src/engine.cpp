@@ -116,13 +116,13 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
     const ServeTimePoint now = ServeClock::now();
     live.reserve(group.size());
     for (auto& p : group) {
-      if (p.request.deadline < now) {
+      if (p.effective_deadline() < now) {
         InferResponse r;
         r.status = ServeStatus::kDeadlineExceeded;
         r.latency_seconds = seconds_between(p.enqueued, now);
         // Record before completing: a client that sees its future resolve
         // must also see the stats reflect it.
-        stats_->record_expired(1);
+        stats_->record_expired(1, p.tenant_class);
         p.promise.set_value(std::move(r));
       } else {
         live.push_back(std::move(p));
@@ -167,8 +167,10 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
 
     std::vector<InferResponse> responses;
     std::vector<double> latencies;
+    std::vector<std::string> classes;
     responses.reserve(live.size());
     latencies.reserve(live.size());
+    classes.reserve(live.size());
     for (std::size_t i = 0; i < live.size(); ++i) {
       InferResponse r;
       r.status = ServeStatus::kOk;
@@ -180,11 +182,12 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
       r.batch_size = static_cast<int>(live.size());
       r.batch_sim_seconds = res.stats.sim_time;
       latencies.push_back(r.latency_seconds);
+      classes.push_back(live[i].tenant_class);
       responses.push_back(std::move(r));
     }
     // Record before completing any promise: a client that sees its future
     // resolve must also see the stats reflect the whole batch.
-    stats_->record_batch(live.size(), res.stats.sim_time, latencies);
+    stats_->record_batch(live.size(), res.stats.sim_time, latencies, classes);
     for (std::size_t i = 0; i < live.size(); ++i)
       live[i].promise.set_value(std::move(responses[i]));
   } catch (const std::exception& e) {

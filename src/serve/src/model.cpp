@@ -100,6 +100,16 @@ std::map<std::string, ServedModel> index_models(
   std::map<std::string, ServedModel> out;
   for (auto& m : models) {
     const std::string name = m.name;
+    // Construction-time validation: a malformed model must fail the server
+    // constructor loudly, not surface as a crash in warm() or a batch.
+    CB_CHECK_MSG(!name.empty(), "served model with an empty name");
+    CB_CHECK_MSG(!m.layers.empty(),
+                 "served model '" << name << "' has no layers");
+    CB_CHECK_MSG(m.weights.size() == m.layers.size(),
+                 "served model '" << name << "' has " << m.layers.size()
+                                  << " layers but " << m.weights.size()
+                                  << " weight tensors");
+    for (const ConvLayer& layer : m.layers) layer.shape.validate();
     CB_CHECK_MSG(out.emplace(name, std::move(m)).second,
                  "duplicate served model '" << name << "'");
   }

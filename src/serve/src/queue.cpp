@@ -1,39 +1,114 @@
 #include "convbound/serve/queue.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace convbound {
 
+void RequestQueue::set_tenancy(const TenantTable* table, double congestion) {
+  table_ = table;
+  congestion_ = std::clamp(congestion, 0.0, 1.0);
+  weight_sum_ = 0;
+  if (table_) {
+    for (const TenantClass& c : table_->classes()) weight_sum_ += c.quota_weight;
+    class_depth_.assign(table_->size(), 0);
+  }
+  if (weight_sum_ <= 0) weight_sum_ = 1.0;
+}
+
+void RequestQueue::bump_class(std::size_t i, std::ptrdiff_t delta) {
+  if (class_depth_.size() <= i) class_depth_.resize(i + 1, 0);
+  class_depth_[i] = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(class_depth_[i]) + delta);
+}
+
+std::size_t RequestQueue::class_share(std::size_t i) const {
+  if (!table_ || i >= table_->size()) return capacity_;
+  const double frac = table_->cls(i).quota_weight / weight_sum_;
+  const auto share = static_cast<std::size_t>(
+      std::floor(frac * static_cast<double>(capacity_)));
+  return std::max<std::size_t>(1, share);
+}
+
+std::size_t RequestQueue::most_urgent_locked() const {
+  std::size_t best = items_.size();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (best == items_.size()) {
+      best = i;
+      continue;
+    }
+    const auto di = items_[i].effective_deadline();
+    const auto db = items_[best].effective_deadline();
+    if (di < db || (di == db && items_[i].enqueued < items_[best].enqueued))
+      best = i;
+  }
+  return best;
+}
+
 void RequestQueue::expire_locked(ServeTimePoint now) {
-  std::size_t n = 0;
+  std::vector<std::size_t> per_class;
+  std::size_t total = 0;
   for (auto it = items_.begin(); it != items_.end();) {
-    if (it->request.deadline < now) {
+    if (it->effective_deadline() < now) {
       InferResponse r;
       r.status = ServeStatus::kDeadlineExceeded;
       r.latency_seconds =
           std::chrono::duration<double>(now - it->enqueued).count();
       it->promise.set_value(std::move(r));
+      bump_class(it->class_index, -1);
+      if (per_class.size() <= it->class_index)
+        per_class.resize(it->class_index + 1, 0);
+      ++per_class[it->class_index];
+      ++total;
       it = items_.erase(it);
-      ++n;
     } else {
       ++it;
     }
   }
   // Completed futures must never be visible before the counter reflects
   // them, so the report happens under mu_ (the handler takes its own lock).
-  if (n > 0 && on_expired_) on_expired_(n);
+  if (total > 0 && on_expired_) {
+    for (std::size_t c = 0; c < per_class.size(); ++c)
+      if (per_class[c] > 0) on_expired_(c, per_class[c]);
+  }
 }
 
-bool RequestQueue::push(PendingRequest&& p) {
+RequestQueue::Admit RequestQueue::push(PendingRequest&& p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admit::kClosed;
+    const auto over_capacity = [&] { return items_.size() >= capacity_; };
+    const auto over_quota = [&] {
+      if (!table_) return false;
+      // Work-conserving below the congestion threshold: any class may use
+      // any free slot while the queue is mostly empty.
+      const auto threshold = static_cast<std::size_t>(
+          congestion_ * static_cast<double>(capacity_));
+      if (items_.size() < threshold) return false;
+      const std::size_t depth = p.class_index < class_depth_.size()
+                                    ? class_depth_[p.class_index]
+                                    : 0;
+      return depth >= class_share(p.class_index);
+    };
+    // Only sweep when an admission check is about to bite (keeps the happy
+    // path O(1)): dead occupants must not cost live traffic a rejection.
+    if (over_capacity() || over_quota()) {
+      expire_locked(ServeClock::now());
+      if (over_capacity()) return Admit::kFull;
+      if (over_quota()) return Admit::kQuota;
+    }
+    bump_class(p.class_index, +1);
+    items_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return Admit::kOk;
+}
+
+bool RequestQueue::readmit(PendingRequest&& p) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return false;
-    // Only sweep when the capacity check is about to bite (keeps the happy
-    // path O(1)): dead occupants must not cost live traffic a rejection.
-    if (items_.size() >= capacity_) {
-      expire_locked(ServeClock::now());
-      if (items_.size() >= capacity_) return false;
-    }
+    bump_class(p.class_index, +1);
     items_.push_back(std::move(p));
   }
   cv_.notify_all();
@@ -45,8 +120,9 @@ bool RequestQueue::wait_front(std::string* model, ServeTimePoint* enqueued) {
   for (;;) {
     expire_locked(ServeClock::now());
     if (!items_.empty()) {
-      *model = items_.front().request.model;
-      *enqueued = items_.front().enqueued;
+      const std::size_t i = most_urgent_locked();
+      *model = items_[i].request.model;
+      *enqueued = items_[i].enqueued;
       return true;
     }
     if (closed_) return false;
@@ -71,16 +147,31 @@ std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
   cv_.wait_until(lock, deadline, have_group);
   expire_locked(ServeClock::now());
 
+  // Gather this model's entries most-urgent-first (EDF on effective
+  // deadline, arrival as tiebreak), cap at max_n, then remove by index.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < items_.size(); ++i)
+    if (items_[i].request.model == model) idx.push_back(i);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    const auto da = items_[a].effective_deadline();
+    const auto db = items_[b].effective_deadline();
+    if (da != db) return da < db;
+    if (items_[a].enqueued != items_[b].enqueued)
+      return items_[a].enqueued < items_[b].enqueued;
+    return a < b;
+  });
+  if (idx.size() > max_n) idx.resize(max_n);
+
   std::vector<PendingRequest> out;
-  out.reserve(max_n);
-  for (auto it = items_.begin(); it != items_.end() && out.size() < max_n;) {
-    if (it->request.model == model) {
-      out.push_back(std::move(*it));
-      it = items_.erase(it);
-    } else {
-      ++it;
-    }
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    bump_class(items_[i].class_index, -1);
+    out.push_back(std::move(items_[i]));
   }
+  // Erase from the back so earlier indices stay valid.
+  std::sort(idx.begin(), idx.end(), std::greater<std::size_t>());
+  for (std::size_t i : idx)
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
   return out;
 }
 
@@ -97,12 +188,18 @@ std::vector<PendingRequest> RequestQueue::drain() {
   std::vector<PendingRequest> out(std::make_move_iterator(items_.begin()),
                                   std::make_move_iterator(items_.end()));
   items_.clear();
+  std::fill(class_depth_.begin(), class_depth_.end(), 0);
   return out;
 }
 
 std::size_t RequestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+std::size_t RequestQueue::class_depth(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < class_depth_.size() ? class_depth_[i] : 0;
 }
 
 }  // namespace convbound

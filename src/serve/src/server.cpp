@@ -10,17 +10,23 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models,
                                  ServerOptions opts)
     : opts_(std::move(opts)),
       models_(index_models(std::move(models))),
+      tenants_(opts_.classes),
       engine_(models_, opts_.engine_options(), &stats_),
       queue_(opts_.max_queue) {
   CB_CHECK_MSG(opts_.workers >= 1, "workers must be >= 1");
+  queue_.set_tenancy(&tenants_, opts_.admission_congestion);
   // The queue answers expired requests itself (promptly, freeing capacity);
   // it reports them here so the stats stay in step with the futures.
-  queue_.set_on_expired([this](std::size_t n) { stats_.record_expired(n); });
+  queue_.set_on_expired([this](std::size_t cls, std::size_t n) {
+    stats_.record_expired(
+        n, cls < tenants_.size() ? tenants_.cls(cls).name : std::string());
+  });
 }
 
 InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::start() {
+  CB_CHECK_MSG(!stopped_, "server cannot restart after stop()");
   CB_CHECK_MSG(!started_, "server already started");
   engine_.warm();
 
@@ -71,8 +77,13 @@ void InferenceServer::stop() {
 std::future<InferResponse> InferenceServer::submit(InferRequest request) {
   validate_request(models_, request);
   PendingRequest p;
+  p.class_index = tenants_.resolve(request.tenant);
+  p.tenant_class = tenants_.cls(p.class_index).name;
   p.request = std::move(request);
   p.enqueued = ServeClock::now();
+  p.class_deadline = tenants_.effective_deadline(p.class_index, p.enqueued,
+                                                 ServeTimePoint::max());
+  const std::string cls = p.tenant_class;
   std::future<InferResponse> fut = p.promise.get_future();
 
   if (stopped_) {
@@ -81,22 +92,35 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
     p.promise.set_value(std::move(r));
     return fut;
   }
-  if (!queue_.push(std::move(p))) {
-    // `p` is untouched on a failed push (full or closed). stop() flips
-    // stopped_ before closing the queue, so re-reading it distinguishes a
-    // shutdown race from genuine backpressure.
-    InferResponse r;
-    if (stopped_) {
-      r.status = ServeStatus::kShutdown;
-    } else {
+  // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
+  // re-read of stopped_) decides shutdown races, so a submit that loses to
+  // a concurrent stop() resolves kShutdown instead of hanging.
+  switch (queue_.push(std::move(p))) {
+    case RequestQueue::Admit::kOk:
+      stats_.record_submitted(queue_.depth(), cls);
+      return fut;
+    case RequestQueue::Admit::kFull: {
+      InferResponse r;
       r.status = ServeStatus::kRejected;
-      stats_.record_rejected();
+      stats_.record_rejected(cls);
+      p.promise.set_value(std::move(r));
+      return fut;
     }
-    p.promise.set_value(std::move(r));
-    return fut;
+    case RequestQueue::Admit::kQuota: {
+      InferResponse r;
+      r.status = ServeStatus::kQuotaExceeded;
+      stats_.record_quota_rejected(cls);
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
+    case RequestQueue::Admit::kClosed: {
+      InferResponse r;
+      r.status = ServeStatus::kShutdown;
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
   }
-  stats_.record_submitted(queue_.depth());
-  return fut;
+  return fut;  // unreachable
 }
 
 void InferenceServer::wait_for_slot() {

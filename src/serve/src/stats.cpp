@@ -16,6 +16,13 @@ void fill_latency_fields(StatsSnapshot& s) {
   s.latency_mean = s.latency.mean();
 }
 
+void fill_class_latency_fields(ClassSnapshot& c) {
+  c.latency_p50 = c.latency.quantile(0.50);
+  c.latency_p99 = c.latency.quantile(0.99);
+  c.latency_mean = c.latency.mean();
+  c.latency_max = c.latency.max_value();
+}
+
 }  // namespace
 
 StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
@@ -26,6 +33,7 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
     s.submitted += p.submitted;
     s.completed += p.completed;
     s.rejected += p.rejected;
+    s.quota_rejected += p.quota_rejected;
     s.expired += p.expired;
     s.failed += p.failed;
     s.batches += p.batches;
@@ -46,8 +54,20 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
     s.latency.merge(p.latency);
     for (const auto& [size, count] : p.batch_histogram)
       histogram[size] += count;
+    // Per-class slices merge the same way: counters sum, histograms add
+    // bucket-wise, so per-class fleet percentiles stay true percentiles.
+    for (const auto& [name, part] : p.classes) {
+      ClassSnapshot& c = s.classes[name];
+      c.submitted += part.submitted;
+      c.completed += part.completed;
+      c.rejected += part.rejected;
+      c.quota_rejected += part.quota_rejected;
+      c.expired += part.expired;
+      c.latency.merge(part.latency);
+    }
   }
   fill_latency_fields(s);
+  for (auto& [name, c] : s.classes) fill_class_latency_fields(c);
   if (s.wall_seconds > 0)
     s.throughput_rps = static_cast<double>(s.completed) / s.wall_seconds;
   if (makespan > 0)
@@ -68,21 +88,45 @@ void ServerStats::mark_start() {
   start_ = ServeClock::now();
 }
 
-void ServerStats::record_submitted(std::size_t queue_depth_after) {
+ServerStats::ClassCounters& ServerStats::class_counters(
+    const std::string& cls) {
+  return classes_[cls];
+}
+
+void ServerStats::record_submitted(std::size_t queue_depth_after,
+                                   const std::string& cls) {
   std::lock_guard<std::mutex> lock(mu_);
   ++submitted_;
   max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+  if (!cls.empty()) ++class_counters(cls).submitted;
 }
 
-void ServerStats::record_rejected() {
+void ServerStats::record_rejected(const std::string& cls) {
   std::lock_guard<std::mutex> lock(mu_);
   ++submitted_;
   ++rejected_;
+  if (!cls.empty()) {
+    ClassCounters& c = class_counters(cls);
+    ++c.submitted;
+    ++c.rejected;
+  }
 }
 
-void ServerStats::record_expired(std::size_t n) {
+void ServerStats::record_quota_rejected(const std::string& cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++quota_rejected_;
+  if (!cls.empty()) {
+    ClassCounters& c = class_counters(cls);
+    ++c.submitted;
+    ++c.quota_rejected;
+  }
+}
+
+void ServerStats::record_expired(std::size_t n, const std::string& cls) {
   std::lock_guard<std::mutex> lock(mu_);
   expired_ += n;
+  if (!cls.empty()) class_counters(cls).expired += n;
 }
 
 void ServerStats::record_failed(std::size_t n) {
@@ -91,14 +135,20 @@ void ServerStats::record_failed(std::size_t n) {
 }
 
 void ServerStats::record_batch(std::size_t group, double sim_seconds,
-                               const std::vector<double>& latencies) {
+                               const std::vector<double>& latencies,
+                               const std::vector<std::string>& classes) {
   std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
   sim_seconds_ += sim_seconds;
   ++histogram_[static_cast<int>(group)];
-  for (double l : latencies) {
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
     ++completed_;
-    latency_.record(l);
+    latency_.record(latencies[i]);
+    if (i < classes.size() && !classes[i].empty()) {
+      ClassCounters& c = class_counters(classes[i]);
+      ++c.completed;
+      c.latency.record(latencies[i]);
+    }
   }
 }
 
@@ -108,6 +158,7 @@ StatsSnapshot ServerStats::snapshot() const {
   s.submitted = submitted_;
   s.completed = completed_;
   s.rejected = rejected_;
+  s.quota_rejected = quota_rejected_;
   s.expired = expired_;
   s.failed = failed_;
   s.batches = batches_;
@@ -124,6 +175,18 @@ StatsSnapshot ServerStats::snapshot() const {
 
   s.latency = latency_;
   fill_latency_fields(s);
+
+  for (const auto& [name, counters] : classes_) {
+    ClassSnapshot c;
+    c.submitted = counters.submitted;
+    c.completed = counters.completed;
+    c.rejected = counters.rejected;
+    c.quota_rejected = counters.quota_rejected;
+    c.expired = counters.expired;
+    c.latency = counters.latency;
+    fill_class_latency_fields(c);
+    s.classes.emplace(name, std::move(c));
+  }
 
   std::uint64_t grouped = 0;
   for (const auto& [size, count] : histogram_) {

@@ -339,6 +339,353 @@ TEST(Cluster, QueuedBeforeStartServedAfterAndShutdownAfterStop) {
                Error);
 }
 
+// ----------------------------------------------------- chaos lifecycle ----
+
+TEST(Router, DeadDeviceIsExcludedUntilRevived) {
+  Router router(RoutePolicy::kBoundAware,
+                {entry("fast", 1.0e-3, 1, 4), entry("slow", 8.0e-3, 1, 4)});
+  ASSERT_EQ(router.preferred_device("m"), 0);
+
+  // Killing the preferred device routes everything through the existing
+  // steal path: the survivor is both preference and placement.
+  router.set_alive(0, false);
+  EXPECT_FALSE(router.alive(0));
+  EXPECT_EQ(router.preferred_device("m"), 1);
+  EXPECT_EQ(router.reserve("m").device, 1);
+  router.complete(1, "m");
+
+  // Hot-join: revive with a refreshed cost row (bigger bucket, faster
+  // batch); the next placement must already carry the new bucket.
+  std::map<std::string, Router::ModelCost> costs;
+  costs.emplace("m", Router::ModelCost{4, 0.5e-3});
+  router.update_costs(0, std::move(costs));
+  router.set_alive(0, true);
+  EXPECT_TRUE(router.alive(0));
+  EXPECT_EQ(router.preferred_device("m"), 0);
+  const Placement p = router.reserve("m");
+  EXPECT_EQ(p.device, 0);
+  EXPECT_EQ(p.bucket, 4);
+  router.complete(0, "m");
+}
+
+TEST(Router, CloseReturnsUnplacedOnFullyDeadFleet) {
+  Router router(RoutePolicy::kBoundAware, {entry("only", 1.0e-3, 2, 4)});
+  router.set_alive(0, false);
+  // Not closed: a blocked reserve() would wait for a revive. Closed + fully
+  // dead: reserve() must bail out with device = -1 instead of deadlocking
+  // the shutdown path.
+  router.close();
+  const Placement p = router.reserve("m");
+  EXPECT_EQ(p.device, -1);
+}
+
+TEST(Cluster, DeviceLossMidFlightLosesZeroRequests) {
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  // Slow drain (one worker each) with deep per-device queues so the failed
+  // device is very likely holding stranded groups mid-flight.
+  for (auto& d : opts.devices) {
+    d.workers = 1;
+    d.max_pending_groups = 6;
+  }
+  ClusterServer cluster(models, opts);
+  cluster.start();
+
+  constexpr int kRequests = 60;
+  std::vector<std::future<InferResponse>> futs;
+  std::vector<Tensor4<float>> inputs;
+  for (int i = 0; i < kRequests; ++i) {
+    const ServedModel& m = models[i % models.size()];
+    inputs.push_back(make_request_input(m, 500u + i));
+    futs.push_back(cluster.submit({m.name, inputs.back()}));
+  }
+  // Kill a device while its queue is hot, then keep submitting: the
+  // survivors must absorb both the re-queued and the new traffic.
+  const std::size_t requeued = cluster.fail_device(0);
+  for (int i = 0; i < 10; ++i) {
+    const ServedModel& m = models[i % models.size()];
+    inputs.push_back(make_request_input(m, 900u + i));
+    futs.push_back(cluster.submit({m.name, inputs.back()}));
+  }
+
+  // Zero silent loss: every accepted request resolves kOk and matches the
+  // reference wherever it (re-)ran.
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const InferResponse r = futs[i].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk) << "request " << i;
+    const ServedModel& m = models[i % models.size()];
+    ASSERT_TRUE(allclose(reference_run(m, inputs[i]), r.output, 1e-3, 1e-3))
+        << "request " << i;
+  }
+
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.fleet.completed, futs.size());
+  EXPECT_EQ(s.device_failures, 1u);
+  EXPECT_EQ(s.requeued_requests, static_cast<std::uint64_t>(requeued));
+  ASSERT_FALSE(s.devices.empty());
+  EXPECT_FALSE(s.devices[0].alive);
+  for (std::size_t i = 1; i < s.devices.size(); ++i)
+    EXPECT_TRUE(s.devices[i].alive) << s.devices[i].name;
+  cluster.stop();
+}
+
+TEST(Cluster, WarmAndColdReviveRestoreServingWithoutPlanMisses) {
+  auto models = tiny_models();
+  ClusterServer cluster(models, hetero_options());
+  cluster.start();
+
+  const auto roundtrip = [&](std::uint64_t seed) {
+    const ServedModel& m = models[seed % models.size()];
+    const Tensor4<float> input = make_request_input(m, seed);
+    const InferResponse r = cluster.submit({m.name, input}).get();
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    ASSERT_TRUE(allclose(reference_run(m, input), r.output, 1e-3, 1e-3));
+  };
+  roundtrip(1);
+
+  // Warm revive: the engine (plans, sessions) survived the restart.
+  cluster.fail_device(1);
+  roundtrip(2);  // fleet keeps serving while d1 is down
+  cluster.revive_device(1, ReviveMode::kWarm);
+  roundtrip(3);
+
+  // Cold revive: hot-join with a rebuilt, re-warmed engine. The router's
+  // cost row is refreshed from the new warm-time predictions, and the
+  // device reaches the same zero-plan-miss steady state as at fleet start.
+  cluster.fail_device(1);
+  cluster.revive_device(1, ReviveMode::kCold);
+  for (std::uint64_t i = 4; i < 24; ++i) roundtrip(i);
+
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.device_failures, 2u);
+  EXPECT_EQ(s.device_revives, 2u);
+  for (const DeviceSnapshot& d : s.devices) {
+    EXPECT_TRUE(d.alive) << d.name;
+    EXPECT_EQ(d.stats.plan_misses_after_warm, 0u) << d.name;
+  }
+  EXPECT_EQ(s.fleet.failed, 0u);
+  cluster.stop();
+}
+
+// ------------------------------------------------- submit-vs-stop race ----
+
+TEST(Cluster, SubmitRacingStopAlwaysResolves) {
+  // Regression for the submit-vs-stop race: a submit that passes the
+  // stopped_ fast-path while stop() is closing the fleet queue must resolve
+  // kShutdown via the queue's own closed verdict — never hang the future.
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  ClusterServer cluster(models, opts);
+  cluster.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  std::vector<std::vector<std::future<InferResponse>>> futs(kClients);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const Tensor4<float> input =
+          make_request_input(models[c % models.size()], 77u + c);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerClient; ++i)
+        futs[c].push_back(
+            cluster.submit({models[c % models.size()].name, input}));
+    });
+  }
+  go = true;
+  // Stop lands mid-hammering; some submits win the race, some lose.
+  std::this_thread::sleep_for(std::chrono::microseconds(500));
+  cluster.stop();
+  for (auto& t : clients) t.join();
+
+  for (auto& per_client : futs) {
+    for (auto& f : per_client) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "submit racing stop() hung its future";
+      const ServeStatus st = f.get().status;
+      EXPECT_TRUE(st == ServeStatus::kOk || st == ServeStatus::kRejected ||
+                  st == ServeStatus::kShutdown)
+          << to_string(st);
+    }
+  }
+}
+
+TEST(Cluster, DeadDeviceRefusalLeavesTheGroupWithTheCaller) {
+  // The deterministic core of the placement-vs-fail race below: a dead
+  // device's enqueue() must refuse WITHOUT consuming the group. enqueue()
+  // used to take the vector by value, so refusal destroyed the requests and
+  // every waiting future threw broken_promise while the dispatch path
+  // "re-queued" an empty vector.
+  auto models = tiny_models();
+  std::map<std::string, ServedModel> by_name;
+  for (const ServedModel& m : models) by_name.emplace(m.name, m);
+  ClusterOptions opts = hetero_options();
+  ClusterDevice dev(by_name, device_of(MachineSpec::v100()),
+                    opts.engine_options());
+  dev.start();
+  dev.fail();
+
+  std::vector<PendingRequest> group;
+  std::vector<std::future<InferResponse>> futs;
+  for (int i = 0; i < 3; ++i) {
+    PendingRequest p;
+    p.request.model = models[0].name;
+    p.request.input = make_request_input(models[0], 5u + i);
+    p.enqueued = ServeClock::now();
+    futs.push_back(p.promise.get_future());
+    group.push_back(std::move(p));
+  }
+  bool reservation_returned = false;
+  EXPECT_FALSE(dev.enqueue(std::move(group), models[0].name,
+                           [&] { reservation_returned = true; }));
+  EXPECT_FALSE(reservation_returned);  // refusal never ran the group
+  ASSERT_EQ(group.size(), 3u) << "refusal consumed the group";
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    group[i].promise.set_value(std::move(r));  // promise must still be live
+    EXPECT_EQ(futs[i].get().status, ServeStatus::kShutdown);
+  }
+}
+
+TEST(Cluster, PlacementRacingFailNeverAbandonsRequests) {
+  // Regression for a promise-destroying race: when fail_device() lands
+  // between the Router's reserve() and the device's enqueue(), the dead
+  // device refuses the group and the dispatch path re-queues it. enqueue()
+  // used to take the group by value, so refusal destroyed the requests
+  // (futures threw broken_promise) and re-queued an empty vector. Flip one
+  // device dead/alive under client load until stop so the window is hit
+  // over and over; every future must resolve with a real status.
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  ClusterServer cluster(models, opts);
+  cluster.start();
+
+  constexpr int kClients = 4;
+  constexpr int kFlight = 8;       // in-flight futures per client per round
+  constexpr int kMaxPerClient = 4000;  // runtime bound, not a target
+  constexpr int kChaosCycles = 20;
+  std::vector<std::vector<std::future<InferResponse>>> futs(kClients);
+  std::atomic<bool> chaos_done{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const Tensor4<float> input =
+          make_request_input(models[c % models.size()], 31u + c);
+      // Closed loop in small flights: there are always requests in flight
+      // while the chaos thread flips the device, and each round's wait
+      // keeps the client alive for the whole churn.
+      while (!chaos_done.load() &&
+             futs[c].size() < static_cast<std::size_t>(kMaxPerClient)) {
+        const std::size_t begin = futs[c].size();
+        for (int i = 0; i < kFlight; ++i)
+          futs[c].push_back(
+              cluster.submit({models[c % models.size()].name, input}));
+        for (std::size_t i = begin; i < futs[c].size(); ++i)
+          futs[c][i].wait_for(std::chrono::seconds(60));
+      }
+    });
+  }
+  std::thread chaos([&] {
+    for (int i = 0; i < kChaosCycles; ++i) {
+      cluster.fail_device(0);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      cluster.revive_device(0, ReviveMode::kWarm);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    chaos_done = true;
+  });
+  chaos.join();
+  for (auto& t : clients) t.join();
+  const ClusterSnapshot snap = cluster.stats();
+  cluster.stop();
+
+  std::size_t served = 0;
+  for (auto& per_client : futs) {
+    for (auto& f : per_client) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "placement racing fail_device() abandoned a future";
+      const ServeStatus st = f.get().status;
+      EXPECT_TRUE(st == ServeStatus::kOk || st == ServeStatus::kRejected ||
+                  st == ServeStatus::kShutdown)
+          << to_string(st);
+      if (st == ServeStatus::kOk) ++served;
+    }
+  }
+  // The fleet kept serving through the churn (survivors absorb the load).
+  EXPECT_GT(served, 0u);
+  EXPECT_GE(snap.device_failures, 1u);
+  EXPECT_EQ(snap.device_failures, snap.device_revives);
+}
+
+// --------------------------------------------------- lifecycle guards ----
+
+TEST(Cluster, LifecycleMisuseFailsLoudly) {
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  {
+    ClusterServer cluster(models, opts);
+    EXPECT_THROW(cluster.fail_device(0), Error);  // before start
+    cluster.start();
+    EXPECT_THROW(cluster.start(), Error);              // double start
+    EXPECT_THROW(cluster.fail_device(99), Error);      // unknown device
+    EXPECT_THROW(cluster.revive_device(99, ReviveMode::kWarm), Error);
+    // Reviving a live device is a misuse, not a no-op.
+    EXPECT_THROW(cluster.revive_device(0, ReviveMode::kWarm), Error);
+    cluster.stop();
+    EXPECT_THROW(cluster.start(), Error);  // restart after stop
+  }
+  // Construction-time model validation fails the constructor loudly.
+  ServedModel no_layers;
+  no_layers.name = "empty";
+  EXPECT_THROW(ClusterServer({no_layers}, opts), Error);
+}
+
+// ------------------------------------------------------ fleet tenancy ----
+
+TEST(Cluster, TenantQuotaProtectsPaidHeadroomAtTheFrontDoor) {
+  auto models = tiny_models();
+  ClusterOptions opts = hetero_options();
+  opts.max_queue = 8;
+  opts.admission_congestion = 0.5;
+  opts.classes = {TenantClass{"paid", 0, 3.0}, TenantClass{"free", 0, 1.0}};
+  ClusterServer cluster(models, opts);
+
+  // Not started: admission outcomes are deterministic. Shares: paid 6,
+  // free 2; quotas bind at depth 4.
+  const Tensor4<float> input = make_request_input(models[0], 21);
+  std::vector<std::future<InferResponse>> free_futs, paid_futs;
+  for (int i = 0; i < 5; ++i) {
+    InferRequest r{models[0].name, input};
+    r.tenant = "free";
+    free_futs.push_back(cluster.submit(std::move(r)));
+  }
+  EXPECT_EQ(free_futs[4].get().status, ServeStatus::kQuotaExceeded);
+  for (int i = 0; i < 4; ++i) {
+    InferRequest r{models[0].name, input};
+    r.tenant = "paid";
+    paid_futs.push_back(cluster.submit(std::move(r)));
+  }
+
+  cluster.start();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(free_futs[i].get().status, ServeStatus::kOk);
+    EXPECT_EQ(paid_futs[i].get().status, ServeStatus::kOk);
+  }
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.fleet.quota_rejected, 1u);
+  ASSERT_TRUE(s.fleet.classes.count("paid"));
+  ASSERT_TRUE(s.fleet.classes.count("free"));
+  EXPECT_EQ(s.fleet.classes.at("paid").completed, 4u);
+  EXPECT_EQ(s.fleet.classes.at("free").completed, 4u);
+  EXPECT_EQ(s.fleet.classes.at("free").quota_rejected, 1u);
+  EXPECT_GT(s.fleet.classes.at("paid").latency_p99, 0.0);
+  cluster.stop();
+}
+
 // ------------------------------------------------------- stats merge ----
 
 TEST(ClusterStats, MergeIsParallelSemantics) {

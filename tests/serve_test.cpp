@@ -65,9 +65,10 @@ TEST(RequestQueue, BoundedPushAndGroupCollect) {
     p.enqueued = ServeClock::now();
     return p;
   };
-  EXPECT_TRUE(q.push(pending("a")));
-  EXPECT_TRUE(q.push(pending("b")));
-  EXPECT_FALSE(q.push(pending("a")));  // full -> backpressure
+  EXPECT_EQ(q.push(pending("a")), RequestQueue::Admit::kOk);
+  EXPECT_EQ(q.push(pending("b")), RequestQueue::Admit::kOk);
+  EXPECT_EQ(q.push(pending("a")),
+            RequestQueue::Admit::kFull);  // full -> backpressure
   EXPECT_EQ(q.depth(), 2u);
 
   std::string model;
@@ -83,7 +84,7 @@ TEST(RequestQueue, BoundedPushAndGroupCollect) {
   EXPECT_EQ(q.depth(), 1u);
 
   q.close();
-  EXPECT_FALSE(q.push(pending("c")));
+  EXPECT_EQ(q.push(pending("c")), RequestQueue::Admit::kClosed);
   auto rest = q.collect("b", 4, ServeTimePoint::max());  // closed: no wait
   ASSERT_EQ(rest.size(), 1u);
   ASSERT_FALSE(q.wait_front(&model, &enq));  // closed + drained
@@ -95,7 +96,8 @@ TEST(RequestQueue, ExpiredEntriesAreAnsweredAndFreeCapacity) {
   // them in wait_front/collect sweeps.
   RequestQueue q(2);
   std::size_t expired_reported = 0;
-  q.set_on_expired([&](std::size_t n) { expired_reported += n; });
+  q.set_on_expired(
+      [&](std::size_t, std::size_t n) { expired_reported += n; });
   const auto pending = [](const std::string& model, ServeTimePoint deadline) {
     PendingRequest p;
     p.request.model = model;
@@ -106,12 +108,14 @@ TEST(RequestQueue, ExpiredEntriesAreAnsweredAndFreeCapacity) {
 
   PendingRequest dead = pending("a", ServeClock::now() - std::chrono::seconds(1));
   std::future<InferResponse> dead_fut = dead.promise.get_future();
-  ASSERT_TRUE(q.push(std::move(dead)));
-  ASSERT_TRUE(q.push(pending("b", ServeTimePoint::max())));
+  ASSERT_EQ(q.push(std::move(dead)), RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending("b", ServeTimePoint::max())),
+            RequestQueue::Admit::kOk);
 
   // A push at capacity sweeps dead occupants instead of charging live
   // traffic a rejection: the dead entry is answered and "c" takes its slot.
-  EXPECT_TRUE(q.push(pending("c", ServeTimePoint::max())));
+  EXPECT_EQ(q.push(pending("c", ServeTimePoint::max())),
+            RequestQueue::Admit::kOk);
   ASSERT_EQ(dead_fut.wait_for(std::chrono::seconds(0)),
             std::future_status::ready);
   const InferResponse r = dead_fut.get();
@@ -120,7 +124,8 @@ TEST(RequestQueue, ExpiredEntriesAreAnsweredAndFreeCapacity) {
   EXPECT_EQ(expired_reported, 1u);
   EXPECT_EQ(q.depth(), 2u);
   // Genuinely full of live requests: backpressure stands.
-  EXPECT_FALSE(q.push(pending("d", ServeTimePoint::max())));
+  EXPECT_EQ(q.push(pending("d", ServeTimePoint::max())),
+            RequestQueue::Admit::kFull);
 
   // wait_front reports the *live* front (the dead "a" is long gone).
   std::string model;
@@ -133,8 +138,9 @@ TEST(RequestQueue, ExpiredEntriesAreAnsweredAndFreeCapacity) {
       pending("b", ServeClock::now() - std::chrono::seconds(1));
   std::future<InferResponse> dead_b_fut = dead_b.promise.get_future();
   q.drain();
-  ASSERT_TRUE(q.push(std::move(dead_b)));
-  ASSERT_TRUE(q.push(pending("b", ServeTimePoint::max())));
+  ASSERT_EQ(q.push(std::move(dead_b)), RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending("b", ServeTimePoint::max())),
+            RequestQueue::Admit::kOk);
   const auto group = q.collect("b", 4, ServeClock::now());
   ASSERT_EQ(group.size(), 1u);
   EXPECT_EQ(group[0].request.deadline, ServeTimePoint::max());
@@ -399,6 +405,312 @@ TEST(Serve, TunedPlanningSharesTheThreadSafeCache) {
   EXPECT_TRUE(allclose(reference_run(models[0], input), r.output, 1e-3, 1e-3));
   EXPECT_EQ(server.stats().plan_misses_after_warm, 0u);
   server.stop();
+}
+
+// ------------------------------------------------- tenancy & admission ----
+
+TEST(RequestQueue, EdfOrdersByEffectiveDeadline) {
+  RequestQueue q(8);
+  const auto now = ServeClock::now();
+  const auto at = [&](int ms) { return now + std::chrono::milliseconds(ms); };
+  const auto pending = [&](const std::string& model, ServeTimePoint deadline,
+                           ServeTimePoint class_deadline, int arrival_ms) {
+    PendingRequest p;
+    p.request.model = model;
+    p.request.deadline = deadline;
+    p.class_deadline = class_deadline;
+    p.enqueued = at(arrival_ms);
+    return p;
+  };
+
+  // "far" arrives first with no deadline; "tight" arrives later but its
+  // class budget makes it more urgent — wait_front must surface it.
+  ASSERT_EQ(q.push(pending("far", ServeTimePoint::max(),
+                           ServeTimePoint::max(), 0)),
+            RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending("tight", ServeTimePoint::max(),
+                           at(60'000), 1)),
+            RequestQueue::Admit::kOk);
+  std::string model;
+  ServeTimePoint enq;
+  ASSERT_TRUE(q.wait_front(&model, &enq));
+  EXPECT_EQ(model, "tight");
+
+  // Within one model, collect returns most-urgent-first on the effective
+  // deadline (min of explicit deadline and class budget), not FIFO.
+  ASSERT_EQ(q.push(pending("x", at(90'000), ServeTimePoint::max(), 2)),
+            RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending("x", ServeTimePoint::max(), at(30'000), 3)),
+            RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending("x", at(70'000), at(50'000), 4)),
+            RequestQueue::Admit::kOk);
+  const auto group = q.collect("x", 2, ServeClock::now());
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0].effective_deadline(), at(30'000));
+  EXPECT_EQ(group[1].effective_deadline(), at(50'000));
+  EXPECT_EQ(q.depth(), 3u);  // far, tight, and the 90s "x" stay queued
+}
+
+TEST(RequestQueue, WeightedFairQuotaBindsOnlyAboveCongestion) {
+  // capacity 8, paid:free weights 3:1 -> shares 6 and 2; congestion 0.5
+  // -> quotas bind once 4 entries are queued.
+  const TenantTable table({TenantClass{"paid", 0, 3.0},
+                           TenantClass{"free", 0, 1.0}});
+  RequestQueue q(8);
+  q.set_tenancy(&table, 0.5);
+  const auto pending = [&](const std::string& cls) {
+    PendingRequest p;
+    p.request.model = "m";
+    p.class_index = table.resolve(cls);
+    p.tenant_class = cls;
+    p.enqueued = ServeClock::now();
+    return p;
+  };
+
+  // Work-conserving below the threshold: free fills past its share of 2.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(q.push(pending("free")), RequestQueue::Admit::kOk) << i;
+  // At the threshold the over-share class is cut off...
+  EXPECT_EQ(q.push(pending("free")), RequestQueue::Admit::kQuota);
+  EXPECT_EQ(q.class_depth(table.resolve("free")), 4u);
+  // ...while the under-share class still has protected headroom.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(q.push(pending("paid")), RequestQueue::Admit::kOk) << i;
+  // Genuinely full now: capacity, not quota, rejects either class.
+  EXPECT_EQ(q.push(pending("paid")), RequestQueue::Admit::kFull);
+  EXPECT_EQ(q.push(pending("free")), RequestQueue::Admit::kFull);
+
+  q.close();
+  for (auto& p : q.drain()) p.promise.set_value(InferResponse{});
+}
+
+TEST(TenantTable, ResolvesNamesAndValidatesConfig) {
+  const TenantTable table({TenantClass{"paid", 0.5, 3.0},
+                           TenantClass{"free", 0, 1.0}});
+  EXPECT_EQ(table.resolve("paid"), 0u);
+  EXPECT_EQ(table.resolve("free"), 1u);
+  EXPECT_EQ(table.resolve(""), 0u);         // default class
+  EXPECT_EQ(table.resolve("unknown"), 0u);  // catch-all
+
+  const auto now = ServeClock::now();
+  // Budgeted class: effective deadline = min(explicit, now + budget).
+  const auto eff = table.effective_deadline(0, now, ServeTimePoint::max());
+  EXPECT_LT(eff, ServeTimePoint::max());
+  const auto tight = now + std::chrono::milliseconds(1);
+  EXPECT_EQ(table.effective_deadline(0, now, tight), tight);
+  // Unbudgeted class: the explicit deadline is the only deadline.
+  EXPECT_EQ(table.effective_deadline(1, now, ServeTimePoint::max()),
+            ServeTimePoint::max());
+
+  EXPECT_THROW(TenantTable({TenantClass{"a", 0, 0.0}}), Error);
+  EXPECT_THROW(TenantTable({TenantClass{"a", 0, 1.0},
+                            TenantClass{"a", 0, 1.0}}),
+               Error);
+  EXPECT_THROW(TenantTable({TenantClass{"a", 0, 1.0},
+                            TenantClass{"", 0, 1.0}}),
+               Error);
+}
+
+TEST(Serve, TenantClassesGetPerClassStatsAndQuotaStatus) {
+  auto models = tiny_models();
+  ServerOptions opts = tiny_options();
+  opts.max_queue = 8;
+  opts.admission_congestion = 0.5;
+  opts.classes = {TenantClass{"paid", 0, 3.0}, TenantClass{"free", 0, 1.0}};
+  InferenceServer server(models, opts);
+
+  // Not started: nothing drains, so admission outcomes are deterministic.
+  const Tensor4<float> input = make_request_input(models[0], 7);
+  std::vector<std::future<InferResponse>> free_futs;
+  for (int i = 0; i < 5; ++i) {
+    InferRequest r{models[0].name, input};
+    r.tenant = "free";
+    free_futs.push_back(server.submit(std::move(r)));
+  }
+  // Share of 2 but work-conserving up to the congestion threshold of 4;
+  // the fifth free submit is the first over-quota one.
+  EXPECT_EQ(free_futs[4].get().status, ServeStatus::kQuotaExceeded);
+  std::vector<std::future<InferResponse>> paid_futs;
+  for (int i = 0; i < 4; ++i) {
+    InferRequest r{models[0].name, input};
+    r.tenant = "paid";
+    paid_futs.push_back(server.submit(std::move(r)));
+  }
+
+  server.start();  // drains the 4 free + 4 paid queued above
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(free_futs[i].get().status, ServeStatus::kOk);
+    EXPECT_EQ(paid_futs[i].get().status, ServeStatus::kOk);
+  }
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.quota_rejected, 1u);
+  ASSERT_TRUE(s.classes.count("paid"));
+  ASSERT_TRUE(s.classes.count("free"));
+  EXPECT_EQ(s.classes.at("paid").completed, 4u);
+  EXPECT_EQ(s.classes.at("paid").quota_rejected, 0u);
+  EXPECT_EQ(s.classes.at("free").completed, 4u);
+  EXPECT_EQ(s.classes.at("free").quota_rejected, 1u);
+  EXPECT_GT(s.classes.at("paid").latency_p99, 0.0);
+  server.stop();
+}
+
+TEST(Serve, ClassLatencyBudgetExpiresUnservedRequests) {
+  auto models = tiny_models();
+  ServerOptions opts = tiny_options();
+  // A 1ms class budget on a not-yet-started server: the queued request's
+  // effective deadline passes long before start() could serve it.
+  opts.classes = {TenantClass{"default", 0, 1.0},
+                  TenantClass{"impatient", 0.001, 1.0}};
+  InferenceServer server(models, opts);
+  const Tensor4<float> input = make_request_input(models[0], 9);
+
+  InferRequest tight{models[0].name, input};
+  tight.tenant = "impatient";
+  auto f_tight = server.submit(std::move(tight));
+  auto f_ok = server.submit({models[0].name, input});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  server.start();
+  EXPECT_EQ(f_tight.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(f_ok.get().status, ServeStatus::kOk);
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.expired, 1u);
+  ASSERT_TRUE(s.classes.count("impatient"));
+  EXPECT_EQ(s.classes.at("impatient").expired, 1u);
+  server.stop();
+}
+
+// --------------------------------------------------- lifecycle guards ----
+
+TEST(Serve, LifecycleMisuseFailsLoudly) {
+  auto models = tiny_models();
+  InferenceServer server(models, tiny_options());
+  server.start();
+  EXPECT_THROW(server.start(), Error);  // double start
+  server.stop();
+  EXPECT_THROW(server.start(), Error);  // restart after stop
+
+  // Construction-time model validation: malformed models must fail the
+  // constructor, not crash warm() or a batch later.
+  ServedModel no_layers;
+  no_layers.name = "empty";
+  EXPECT_THROW(InferenceServer({no_layers}, tiny_options()), Error);
+
+  ServedModel mismatched = tiny_models()[0];
+  mismatched.weights.pop_back();
+  EXPECT_THROW(InferenceServer({mismatched}, tiny_options()), Error);
+
+  ServedModel unnamed = tiny_models()[0];
+  unnamed.name.clear();
+  EXPECT_THROW(InferenceServer({unnamed}, tiny_options()), Error);
+}
+
+// ------------------------------------- expiry/close interleaving stress ----
+
+TEST(RequestQueue, ExpiryCloseInterleavingStressCompletesEveryRequestOnce) {
+  // Many producers push a mix of already-expired, soon-expiring, and
+  // immortal requests while a consumer collects and a sweeper polls
+  // wait_front; close() lands mid-stream. Every future must resolve exactly
+  // once (a double completion would throw std::future_error inside the
+  // queue) and the depth watermark must never exceed capacity.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  constexpr std::size_t kCapacity = 64;
+  RequestQueue q(kCapacity);
+  std::atomic<std::size_t> expired_reported{0};
+  q.set_on_expired([&](std::size_t, std::size_t n) { expired_reported += n; });
+
+  std::vector<std::future<InferResponse>> futs(
+      static_cast<std::size_t>(kProducers * kPerProducer));
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<bool> consumer_stop{false};
+
+  std::thread consumer([&] {
+    std::string model;
+    ServeTimePoint enq;
+    while (!consumer_stop.load()) {
+      // Collect whatever model sits at the EDF front; the short deadline
+      // keeps the consumer responsive to close().
+      if (!q.wait_front(&model, &enq)) return;  // closed + drained
+      for (auto& p : q.collect(model, 4,
+                               ServeClock::now() +
+                                   std::chrono::microseconds(200))) {
+        InferResponse r;
+        r.status = ServeStatus::kOk;
+        p.promise.set_value(std::move(r));
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        PendingRequest p;
+        p.request.model = "m" + std::to_string(i % 3);
+        const int kind = (t + i) % 3;
+        if (kind == 0)
+          p.request.deadline = ServeClock::now() - std::chrono::seconds(1);
+        else if (kind == 1)
+          p.request.deadline =
+              ServeClock::now() + std::chrono::microseconds(50 * (i % 7));
+        p.enqueued = ServeClock::now();
+        const std::size_t slot =
+            static_cast<std::size_t>(t * kPerProducer + i);
+        futs[slot] = p.promise.get_future();
+        switch (q.push(std::move(p))) {
+          case RequestQueue::Admit::kOk:
+            ++accepted;
+            break;
+          case RequestQueue::Admit::kFull:
+          case RequestQueue::Admit::kQuota:
+          case RequestQueue::Admit::kClosed: {
+            InferResponse r;
+            r.status = ServeStatus::kRejected;
+            p.promise.set_value(std::move(r));
+            break;
+          }
+        }
+        EXPECT_LE(q.depth(), kCapacity);
+      }
+    });
+  }
+  // Close mid-stream: producers racing the close must get kClosed (their
+  // own completion), never a hang or a double-set.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : producers) t.join();
+  consumer_stop = true;
+  consumer.join();
+
+  // The queue is closed; whatever remains resolves via drain (the server's
+  // shutdown path).
+  std::size_t drained = 0;
+  for (auto& p : q.drain()) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    p.promise.set_value(std::move(r));
+    ++drained;
+  }
+
+  std::size_t ok = 0, rejected = 0, expired = 0, shutdown = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    switch (f.get().status) {
+      case ServeStatus::kOk: ++ok; break;
+      case ServeStatus::kRejected: ++rejected; break;
+      case ServeStatus::kDeadlineExceeded: ++expired; break;
+      case ServeStatus::kShutdown: ++shutdown; break;
+      default: FAIL() << "unexpected status";
+    }
+  }
+  // Conservation: every request resolved with exactly one of the four
+  // outcomes, and the queue-reported expiry count matches the futures.
+  EXPECT_EQ(ok + rejected + expired + shutdown, futs.size());
+  EXPECT_EQ(accepted.load(), ok + expired + drained);
+  EXPECT_EQ(expired_reported.load(), expired);
+  EXPECT_EQ(shutdown, drained);
 }
 
 }  // namespace

@@ -46,16 +46,26 @@ def load_json(path):
         sys.exit(2)
 
 
-def lookup(doc, metric, path):
+def lookup(doc, metric, role, path, errors):
+    """Returns the metric's value, or None after recording a clear error.
+
+    Missing keys are *collected*, not fatal one at a time: a gates.json that
+    names several metrics a bench no longer (or does not yet) emit reports
+    every gap in one run instead of one KeyError-style bail per CI round.
+    """
     if metric not in doc:
-        print(f"bench_compare: metric '{metric}' not in {path}",
-              file=sys.stderr)
-        sys.exit(2)
+        errors.append(
+            f"metric '{metric}' not in {role} {path} "
+            f"(top-level keys: {', '.join(sorted(doc)) or 'none'}) — the "
+            "bench must emit it and the baseline must be refreshed "
+            "(docs/ci.md)")
+        return None
     v = doc[metric]
     if not isinstance(v, (int, float)) or isinstance(v, bool):
-        print(f"bench_compare: metric '{metric}' in {path} is not a number",
-              file=sys.stderr)
-        sys.exit(2)
+        errors.append(
+            f"metric '{metric}' in {role} {path} is {type(v).__name__}, "
+            "not a number — gates compare scalar metrics only")
+        return None
     return float(v)
 
 
@@ -82,24 +92,36 @@ def main():
     improvements = 0
     cache = {}
     rows = []
+    errors = []
     for g in gates:
         fname, metric = g.get("file"), g.get("metric")
         if not fname or not metric:
-            print(f"bench_compare: gate entry needs 'file' and 'metric': {g}",
-                  file=sys.stderr)
-            return 2
+            errors.append(f"gate entry needs 'file' and 'metric': {g}")
+            continue
         direction = g.get("direction", "higher")
         tol = float(g.get("tolerance", default_tol))
+        missing_file = False
         for role, d in (("base", args.baseline_dir), ("fresh", args.fresh_dir)):
             key = (role, fname)
             if key not in cache:
                 path = os.path.join(d, fname)
-                if not os.path.isfile(path):
-                    print(f"bench_compare: missing {path}", file=sys.stderr)
-                    return 2
-                cache[key] = load_json(path)
-        base = lookup(cache[("base", fname)], metric, fname)
-        fresh = lookup(cache[("fresh", fname)], metric, fname)
+                if os.path.isfile(path):
+                    cache[key] = load_json(path)
+                else:
+                    errors.append(
+                        f"missing {role} file {path} (gated metric "
+                        f"'{metric}')")
+                    cache[key] = None
+            if cache[key] is None:
+                missing_file = True
+        if missing_file:
+            continue
+        base = lookup(cache[("base", fname)], metric, "baseline", fname,
+                      errors)
+        fresh = lookup(cache[("fresh", fname)], metric, "fresh", fname,
+                       errors)
+        if base is None or fresh is None:
+            continue
 
         status = "ok"
         if direction == "higher":
@@ -137,6 +159,13 @@ def main():
     for r in [header] + rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
 
+    if errors:
+        print(f"\nbench_compare: {len(errors)} gate configuration "
+              "error(s) — every gated metric must exist in both the "
+              "baseline and the fresh run:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 2
     if regressions:
         print(f"\nbench_compare: {regressions} gate(s) regressed beyond "
               "their tolerance band", file=sys.stderr)

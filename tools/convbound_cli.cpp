@@ -34,6 +34,8 @@
 //           [--spatial-cap N] [--dev-workers N] [--replicas N]
 //           [--pending N] [--queue N] [--delay-us N] [--bucket N]
 //           [--max-bucket N] [--mode measured|tuned] [--budget N]
+//           [--classes CSV] [--congestion PCT]
+//           [--kill N] [--kill-after-ms N] [--revive warm|cold]
 //       Closed-loop self-benchmark of the heterogeneous multi-accelerator
 //       cluster: --devices lists one MachineSpec per simulated device
 //       (e.g. "v100,hbm,dense"); the bound-aware Router places each request
@@ -41,6 +43,13 @@
 //       work stealing when it saturates. Prints per-device placement /
 //       throughput tables and the fleet summary; exits non-zero on any
 //       failed request or per-device plan-cache miss after warmup.
+//       --classes declares tenant classes as name:budget_ms:weight triples
+//       (e.g. "paid:50:3,free:0:1"; budget 0 = no latency budget); client
+//       threads are assigned classes round-robin and the summary adds a
+//       per-class table (kQuotaExceeded counts as load shedding, not
+//       failure). --kill N fails device N --kill-after-ms (default 5) into
+//       the load; --revive brings it back warm (surviving engine) or cold
+//       (rebuilt + re-warmed hot-join) halfway through the remaining load.
 //
 // Machines: 1080ti, titanx, v100 (default), gfx906, hbm, dense, test.
 // Models: squeezenet, vgg-19, resnet-18, resnet-34, inception-v3, mobilenet.
@@ -488,6 +497,31 @@ int cmd_cluster(const Args& a) {
   opts.plan_mode = mode == "tuned" ? PlanMode::kTuned : PlanMode::kMeasured;
   opts.tune_budget = static_cast<int>(a.geti("budget", 16));
 
+  // Tenant classes: "name:budget_ms:weight" triples; trailing fields are
+  // optional (budget 0 = no latency budget, weight defaults to 1).
+  for (const std::string& spec : split_csv(a.gets("classes", ""))) {
+    TenantClass c;
+    const std::size_t colon1 = spec.find(':');
+    c.name = spec.substr(0, colon1);
+    if (colon1 != std::string::npos) {
+      const std::size_t colon2 = spec.find(':', colon1 + 1);
+      c.latency_budget_seconds =
+          std::stod(spec.substr(colon1 + 1, colon2 - colon1 - 1)) / 1e3;
+      if (colon2 != std::string::npos)
+        c.quota_weight = std::stod(spec.substr(colon2 + 1));
+    }
+    opts.classes.push_back(std::move(c));
+  }
+  opts.admission_congestion =
+      static_cast<double>(a.geti("congestion", 50)) / 100.0;
+  const bool tenanted = !opts.classes.empty();
+
+  const std::int64_t kill = a.geti("kill", -1);
+  const std::string revive = a.gets("revive", "");
+  CB_CHECK_MSG(revive.empty() || revive == "warm" || revive == "cold",
+               "--revive must be warm|cold");
+  CB_CHECK_MSG(revive.empty() || kill >= 0, "--revive needs --kill");
+
   ClusterServer cluster(models, opts);
   WallTimer warm_timer;
   cluster.start();
@@ -515,24 +549,51 @@ int cmd_cluster(const Args& a) {
   const int per_client = static_cast<int>(a.geti("requests", 16));
   WallTimer load_timer;
   // Failures are counted, never thrown: an exception escaping a client
-  // thread would std::terminate the whole benchmark.
+  // thread would std::terminate the whole benchmark. Under tenancy the
+  // quota/backpressure/budget outcomes are the feature working (explicit
+  // load shedding), so they are tallied separately, not as failures.
   std::atomic<int> failures{0};
+  std::atomic<int> shed{0};
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       for (int i = 0; i < per_client; ++i) {
         const ServedModel& m = models[(c + i) % models.size()];
-        const InferResponse r =
-            cluster
-                .submit({m.name, make_request_input(m, 7000u * c + i)})
-                .get();
-        if (r.status != ServeStatus::kOk) {
+        InferRequest req{m.name, make_request_input(m, 7000u * c + i)};
+        if (tenanted)
+          req.tenant =
+              opts.classes[static_cast<std::size_t>(c) % opts.classes.size()]
+                  .name;
+        const InferResponse r = cluster.submit(std::move(req)).get();
+        if (r.status == ServeStatus::kOk) continue;
+        const bool is_shed = tenanted &&
+                             (r.status == ServeStatus::kQuotaExceeded ||
+                              r.status == ServeStatus::kRejected ||
+                              r.status == ServeStatus::kDeadlineExceeded);
+        if (is_shed) {
+          ++shed;
+        } else {
           ++failures;
           std::fprintf(stderr, "request failed: %s %s\n",
                        to_string(r.status), r.error.c_str());
         }
       }
     });
+  }
+  // Chaos, driven from the main thread while the clients hammer the fleet:
+  // kill mid-load, optionally hot-join the device back.
+  std::size_t chaos_requeued = 0;
+  if (kill >= 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(a.geti("kill-after-ms", 5)));
+    chaos_requeued = cluster.fail_device(static_cast<std::size_t>(kill));
+    if (!revive.empty()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(a.geti("kill-after-ms", 5)));
+      cluster.revive_device(
+          static_cast<std::size_t>(kill),
+          revive == "warm" ? ReviveMode::kWarm : ReviveMode::kCold);
+    }
   }
   for (auto& t : threads) t.join();
   const double wall = load_timer.seconds();
@@ -541,11 +602,12 @@ int cmd_cluster(const Args& a) {
 
   std::printf("closed loop: %d clients x %d requests in %.2fs\n", clients,
               per_client, wall);
-  Table devices({"device", "placed", "batches", "mean batch", "completed",
-                 "modelled req/s", "plan misses"});
+  Table devices({"device", "alive", "placed", "batches", "mean batch",
+                 "completed", "modelled req/s", "plan misses"});
   std::uint64_t plan_misses = 0;
   for (const DeviceSnapshot& d : s.devices) {
-    devices.add_row({d.name, std::to_string(d.placements),
+    devices.add_row({d.name, d.alive ? "yes" : "DEAD",
+                     std::to_string(d.placements),
                      std::to_string(d.stats.batches),
                      Table::fmt(d.stats.mean_batch_size, 2),
                      std::to_string(d.stats.completed),
@@ -554,6 +616,19 @@ int cmd_cluster(const Args& a) {
     plan_misses += d.stats.plan_misses_after_warm;
   }
   std::printf("%s\n", devices.to_string().c_str());
+
+  if (tenanted && !s.fleet.classes.empty()) {
+    Table classes({"class", "submitted", "completed", "quota-rej", "rejected",
+                   "expired", "p50 / p99 ms"});
+    for (const auto& [name, c] : s.fleet.classes)
+      classes.add_row({name, std::to_string(c.submitted),
+                       std::to_string(c.completed),
+                       std::to_string(c.quota_rejected),
+                       std::to_string(c.rejected), std::to_string(c.expired),
+                       Table::fmt(c.latency_p50 * 1e3, 2) + " / " +
+                           Table::fmt(c.latency_p99 * 1e3, 2)});
+    std::printf("%s\n", classes.to_string().c_str());
+  }
 
   Table t({"metric", "value"});
   t.add_row({"completed", std::to_string(s.fleet.completed)});
@@ -569,14 +644,24 @@ int cmd_cluster(const Args& a) {
              Table::fmt(s.fleet.latency_p50 * 1e3, 2) + " / " +
                  Table::fmt(s.fleet.latency_p95 * 1e3, 2) + " / " +
                  Table::fmt(s.fleet.latency_p99 * 1e3, 2)});
-  t.add_row({"rejected / expired",
+  t.add_row({"rejected / quota-rejected / expired",
              std::to_string(s.fleet.rejected) + " / " +
+                 std::to_string(s.fleet.quota_rejected) + " / " +
                  std::to_string(s.fleet.expired)});
   t.add_row({"max queue depth", std::to_string(s.fleet.max_queue_depth)});
+  if (kill >= 0)
+    t.add_row({"chaos: failures / revives / requeued",
+               std::to_string(s.device_failures) + " / " +
+                   std::to_string(s.device_revives) + " / " +
+                   std::to_string(s.requeued_requests) + " (" +
+                   std::to_string(chaos_requeued) + " at kill)"});
   t.add_row({"plan-cache misses after warm (fleet)",
              std::to_string(plan_misses)});
   std::printf("%s", t.to_string().c_str());
 
+  if (shed.load() > 0)
+    std::printf("%d requests shed (quota / backpressure / budget)\n",
+                shed.load());
   if (failures.load() > 0)
     std::fprintf(stderr, "%d requests failed\n", failures.load());
   return failures.load() == 0 && plan_misses == 0 ? 0 : 1;
