@@ -1,12 +1,12 @@
 // Heterogeneous multi-accelerator sharded serving.
 //
-//   clients ──submit()──► RequestQueue ──► BatchScheduler ──► Router
-//                         (fleet-wide,       (same-model        (bound-aware
-//                          backpressure)      groups)            placement,
-//                                                │               per-device
-//                                                ▼               caps, work
-//                                   ClusterDevice[placement]     stealing)
-//                                   engine + workers per device
+//   clients ──submit()──► ShardedRequestQueue ──► BatchScheduler ──► Router
+//                         (fleet-wide, lock-       (same-model       (bound-aware
+//                          striped shards,          groups)           placement,
+//                          backpressure)               │              per-device
+//                                                      ▼              caps, work
+//                                        ClusterDevice[placement]     stealing)
+//                                        engine + workers per device
 //
 // One front door, N simulated accelerators with *different* MachineSpecs.
 // Every device owns its full serving stack (bound-guided buckets for its
@@ -39,8 +39,8 @@
 #include "convbound/cluster/router.hpp"
 #include "convbound/serve/engine.hpp"
 #include "convbound/serve/model.hpp"
-#include "convbound/serve/queue.hpp"
 #include "convbound/serve/scheduler.hpp"
+#include "convbound/serve/sharded_queue.hpp"
 #include "convbound/serve/stats.hpp"
 #include "convbound/serve/tenancy.hpp"
 
@@ -53,6 +53,10 @@ struct ClusterOptions {
   RoutePolicy policy = RoutePolicy::kBoundAware;
   /// Fleet queue capacity; submits beyond it are rejected (backpressure).
   std::size_t max_queue = 1024;
+  /// Ingest shards in the fleet front door (sub-queues + stats stripes).
+  /// Submit is lock-striped across them; capacity/quota stay global. 1
+  /// recovers single-queue exact-EDF ordering.
+  std::size_t shards = 4;
   /// How long the scheduler holds a partial group past its oldest arrival.
   std::chrono::microseconds max_delay{2000};
   /// 0 = bound-guided bucket per (model, device); otherwise fixed.
@@ -171,11 +175,14 @@ class ClusterServer {
   ClusterOptions opts_;
   std::map<std::string, ServedModel> models_;
   TenantTable tenants_;
-  /// Front-door counters (submitted / rejected / queue watermark); each
-  /// device records its own execution-side stats.
-  ServerStats stats_;
+  /// Front-door counters (submitted / rejected / queue watermark), one
+  /// stripe per ingest shard plus the exec stripe for queue-side expiry;
+  /// each device records its own execution-side stats. snapshot() folds
+  /// every stripe — reading a single stripe would drop what the other
+  /// shards' producers recorded.
+  StripedServerStats stats_;
   std::vector<std::unique_ptr<ClusterDevice>> devices_;
-  RequestQueue queue_;
+  ShardedRequestQueue queue_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::atomic<bool> started_{false};

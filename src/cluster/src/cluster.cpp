@@ -12,13 +12,15 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
     : opts_(std::move(opts)),
       models_(index_models(std::move(models))),
       tenants_(opts_.classes),
-      queue_(opts_.max_queue) {
+      stats_(opts_.shards),
+      queue_(opts_.max_queue, opts_.shards) {
   CB_CHECK_MSG(!opts_.devices.empty(), "cluster needs at least one device");
   queue_.set_tenancy(&tenants_, opts_.admission_congestion);
   // The fleet queue answers expired requests itself (promptly, freeing
-  // capacity); they never reach a device, so the front door counts them.
+  // capacity); they never reach a device, so the front door counts them —
+  // on the exec stripe, keeping expiry off the submit stripes' locks.
   queue_.set_on_expired([this](std::size_t cls, std::size_t n) {
-    stats_.record_expired(
+    stats_.exec_stripe().record_expired(
         n, cls < tenants_.size() ? tenants_.cls(cls).name : std::string());
   });
   const EngineOptions eopts = opts_.engine_options();
@@ -129,24 +131,31 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
     p.promise.set_value(std::move(r));
     return fut;
   }
+  // Stats recording goes to this request's shard stripe, so producers
+  // hashed to different shards never contend on a stats lock either.
+  ServerStats& stripe =
+      stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
   // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
   // re-read of stopped_) decides shutdown races, so a submit that loses to
   // a concurrent stop() resolves kShutdown instead of hanging.
-  switch (queue_.push(std::move(p))) {
+  std::size_t depth_after = 0;
+  switch (queue_.push(std::move(p), &depth_after)) {
     case RequestQueue::Admit::kOk:
-      stats_.record_submitted(queue_.depth(), cls);
+      // depth_after came out of the push itself — the old code re-locked
+      // the queue with queue_.depth() right after push released it.
+      stripe.record_submitted(depth_after, cls);
       return fut;
     case RequestQueue::Admit::kFull: {
       InferResponse r;
       r.status = ServeStatus::kRejected;
-      stats_.record_rejected(cls);
+      stripe.record_rejected(cls);
       p.promise.set_value(std::move(r));
       return fut;
     }
     case RequestQueue::Admit::kQuota: {
       InferResponse r;
       r.status = ServeStatus::kQuotaExceeded;
-      stats_.record_quota_rejected(cls);
+      stripe.record_quota_rejected(cls);
       p.promise.set_value(std::move(r));
       return fut;
     }
@@ -248,6 +257,10 @@ ClusterSnapshot ClusterServer::stats() const {
   // fleet queue expired before placement are the front door's too — they
   // add to the devices' collect-time expirations, as do the front door's
   // per-class slices (submits, rejections, queue-side expiry).
+  // StripedServerStats::snapshot() folds every per-shard stripe before this
+  // override — reading a single stripe here would report only the slice of
+  // submissions that hashed to that shard (the skewed-stripe regression
+  // test in tests/stats_test.cpp pins the fold).
   const StatsSnapshot front = stats_.snapshot();
   snap.fleet.submitted = front.submitted;
   snap.fleet.rejected = front.rejected;

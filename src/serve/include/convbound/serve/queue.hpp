@@ -8,9 +8,13 @@
 //
 // Ordering is earliest-deadline-first on the *effective* deadline — the
 // request's explicit deadline ANDed with its tenant class's latency budget
-// (ties broken by arrival time, so budget-free traffic degrades to FIFO).
-// wait_front() surfaces the most urgent entry's model; collect() gathers
-// that model's requests most-urgent-first.
+// (ties broken by arrival time, then insertion order, so budget-free
+// traffic degrades to FIFO). Entries live in a map ordered by
+// (effective_deadline, enqueued, seq): push is a sorted insert (O(log n)),
+// the most urgent entry is begin() (O(1) — this used to be an O(n) scan
+// per wait_front/collect), expired entries are a *prefix* of the map so
+// expiry pops from the front instead of sweeping everything, and collect
+// walks in EDF order so groups come out most-urgent-first without a sort.
 //
 // Admission is two-tier. Below the congestion threshold the queue is
 // work-conserving: any class may use any free slot. At or above it, each
@@ -27,13 +31,23 @@
 // capacity the backpressure policy charges live traffic for. The engine's
 // own collect-time deadline check stays as the backstop for requests that
 // expire after leaving the queue.
+//
+// This class is also the *shard* type of ShardedRequestQueue
+// (convbound/serve/sharded_queue.hpp): the facade owns N of these, runs
+// global capacity/quota itself on relaxed atomics, and inserts through
+// readmit() (which bypasses the per-shard checks but respects close). The
+// facade-facing hooks are set_notifier() (wake the facade's cross-shard
+// waiters), peek_front()/peek_model() (non-blocking head inspection for
+// most-urgent-shard selection), count_model_live() (group formation
+// across shards), and sweep_expired().
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -92,14 +106,24 @@ class RequestQueue {
     on_expired_ = std::move(fn);
   }
 
+  /// Extra wakeup hook for a facade waiting across several queues: called
+  /// (outside the lock) whenever this queue's own cv is notified — after
+  /// push, readmit, and close. Set once, before any thread touches the
+  /// queue.
+  void set_notifier(std::function<void()> fn) { notifier_ = std::move(fn); }
+
   /// Admission-checked insert; see Admit. A full queue (or an over-quota
   /// class) is swept for expired entries before the rejection stands —
-  /// dead occupants never cost live traffic a rejection.
-  Admit push(PendingRequest&& p);
+  /// dead occupants never cost live traffic a rejection. On kOk,
+  /// `depth_after` (when non-null) receives the post-insert depth, taken
+  /// under the same lock as the insert — the submit path's stats recording
+  /// must not re-lock the queue just to read the depth it already knew.
+  Admit push(PendingRequest&& p, std::size_t* depth_after = nullptr);
 
   /// Re-inserts a request that already passed admission once (device-loss
-  /// requeue). Bypasses capacity and quota — the request must not be
-  /// silently lost to backpressure it already cleared — but respects
+  /// requeue, or a ShardedRequestQueue insert that cleared the facade's
+  /// global admission). Bypasses capacity and quota — the request must not
+  /// be silently lost to backpressure it already cleared — but respects
   /// close(): false means the queue is closed and the caller owns the
   /// promise (shutdown path).
   bool readmit(PendingRequest&& p);
@@ -109,6 +133,22 @@ class RequestQueue {
   /// True with the most urgent live entry's model + arrival time (EDF
   /// order); false when closed and drained.
   bool wait_front(std::string* model, ServeTimePoint* enqueued);
+
+  /// Non-blocking wait_front: sweeps expiry, then reports the most urgent
+  /// live entry's model, arrival, and effective deadline. False when empty.
+  bool peek_front(std::string* model, ServeTimePoint* enqueued,
+                  ServeTimePoint* effective_deadline);
+
+  /// Sweeps expiry, then reports the effective deadline of the most urgent
+  /// live entry of `model`. False when the queue holds none.
+  bool peek_model(const std::string& model,
+                  ServeTimePoint* effective_deadline);
+
+  /// Sweeps expiry, then counts live entries of `model`.
+  std::size_t count_model_live(const std::string& model);
+
+  /// Answers and removes every expired entry (see on_expired).
+  void sweep_expired();
 
   /// Waits until `max_n` live requests of `model` are queued, `deadline`
   /// passes, or the queue closes; then removes and returns up to `max_n` of
@@ -132,9 +172,25 @@ class RequestQueue {
   std::size_t class_depth(std::size_t i) const;
 
  private:
+  /// EDF position: effective deadline, then arrival, then insertion order
+  /// (seq) so entries with identical timestamps stay FIFO and keys are
+  /// unique.
+  struct UrgencyKey {
+    ServeTimePoint deadline;
+    ServeTimePoint enqueued;
+    std::uint64_t seq;
+    bool operator<(const UrgencyKey& o) const {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      if (enqueued != o.enqueued) return enqueued < o.enqueued;
+      return seq < o.seq;
+    }
+  };
+
   /// Answers (kDeadlineExceeded) and removes every entry whose effective
-  /// deadline is before `now`; reports per-class counts through
-  /// on_expired_. Caller holds mu_.
+  /// deadline is before `now`. Expired entries are a prefix of the
+  /// EDF-ordered map, so this pops from the front — O(expired * log n),
+  /// not a full sweep. Reports per-class counts through on_expired_.
+  /// Caller holds mu_.
   void expire_locked(ServeTimePoint now);
 
   /// Weighted-fair share of `capacity_` for class `i` (>= 1). Caller holds
@@ -142,18 +198,28 @@ class RequestQueue {
   /// uniform).
   std::size_t class_share(std::size_t i) const;
 
-  /// Index of the entry with the smallest (effective_deadline, enqueued),
-  /// or items_.size() when empty. Caller holds mu_.
-  std::size_t most_urgent_locked() const;
+  /// Sorted insert; caller holds mu_.
+  void insert_locked(PendingRequest&& p);
+
+  /// Removes the entry at `it`, maintaining the per-model and per-class
+  /// counts; returns the moved-out request. Caller holds mu_.
+  PendingRequest remove_locked(std::map<UrgencyKey, PendingRequest>::iterator it);
 
   void bump_class(std::size_t i, std::ptrdiff_t delta);
+  void notify_all();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<PendingRequest> items_;
+  /// EDF order: begin() is the most urgent entry.
+  std::map<UrgencyKey, PendingRequest> items_;
+  std::uint64_t next_seq_ = 0;
+  /// Live entries per model, so group-formation predicates are O(1)
+  /// instead of an O(n) scan per cv wakeup.
+  std::map<std::string, std::size_t> model_counts_;
   std::size_t capacity_;
   bool closed_ = false;
   std::function<void(std::size_t, std::size_t)> on_expired_;
+  std::function<void()> notifier_;
   const TenantTable* table_ = nullptr;
   double congestion_ = 1.0;
   double weight_sum_ = 1.0;

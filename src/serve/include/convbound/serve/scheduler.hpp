@@ -1,9 +1,11 @@
 // Dynamic micro-batching scheduler.
 //
-// One thread watches the queue's oldest request, reserves a placement for
-// it, then collects up to the placement's bucket of same-model requests,
-// waiting at most `max_delay` past the oldest arrival before dispatching a
-// partial group — the classic max-batch/max-delay policy. Head-of-line
+// One thread watches the queue's most urgent request (via the sharded
+// facade's cross-shard head scan — approximate-global-EDF, exact within a
+// shard), reserves a placement for it, then collects up to the placement's
+// bucket of same-model requests, waiting at most `max_delay` past the
+// oldest arrival before dispatching a partial group — the classic
+// max-batch/max-delay policy. Head-of-line
 // batching is deliberate: the window is bounded by max_delay, after which
 // the next model's group is formed immediately.
 //
@@ -29,7 +31,7 @@
 #include <thread>
 #include <vector>
 
-#include "convbound/serve/queue.hpp"
+#include "convbound/serve/sharded_queue.hpp"
 
 namespace convbound {
 
@@ -53,8 +55,9 @@ class BatchScheduler {
   using Dispatch = std::function<void(std::vector<PendingRequest>,
                                       const std::string&, const Placement&)>;
 
-  BatchScheduler(RequestQueue& queue, std::chrono::microseconds max_delay,
-                 Reserve reserve, Dispatch dispatch)
+  BatchScheduler(ShardedRequestQueue& queue,
+                 std::chrono::microseconds max_delay, Reserve reserve,
+                 Dispatch dispatch)
       : queue_(queue),
         max_delay_(max_delay),
         reserve_(std::move(reserve)),
@@ -71,7 +74,7 @@ class BatchScheduler {
  private:
   void loop();
 
-  RequestQueue& queue_;
+  ShardedRequestQueue& queue_;
   std::chrono::microseconds max_delay_;
   Reserve reserve_;
   Dispatch dispatch_;

@@ -1,10 +1,10 @@
 // In-process dynamic micro-batching inference server on the plan layer.
 //
-//   clients ──submit()──► RequestQueue ──► BatchScheduler ──► ThreadPool
-//                         (bounded,         (same-model          workers
-//                          backpressure)     groups, bound-        │
-//                                            guided bucket,        ▼
-//                                            max-delay window)  ServeEngine
+//   clients ──submit()──► ShardedRequestQueue ──► BatchScheduler ──► ThreadPool
+//                         (N lock-striped        (same-model          workers
+//                          shards, global         groups, bound-        │
+//                          backpressure)          guided bucket,        ▼
+//                                                 max-delay window)  ServeEngine
 //                                                               (warm plans +
 //                                                                workspaces per
 //                                                                model×bucket)
@@ -34,8 +34,8 @@
 #include "convbound/serve/batch_policy.hpp"
 #include "convbound/serve/engine.hpp"
 #include "convbound/serve/model.hpp"
-#include "convbound/serve/queue.hpp"
 #include "convbound/serve/scheduler.hpp"
+#include "convbound/serve/sharded_queue.hpp"
 #include "convbound/serve/stats.hpp"
 #include "convbound/serve/tenancy.hpp"
 #include "convbound/util/thread_pool.hpp"
@@ -51,6 +51,10 @@ struct ServerOptions {
   int replicas = 1;
   /// Queue capacity; submits beyond it are rejected (backpressure).
   std::size_t max_queue = 256;
+  /// Ingest shards in the front door (sub-queues + stats stripes). Submit
+  /// is lock-striped across them; capacity/quota stay global. 1 recovers
+  /// single-queue exact-EDF ordering.
+  std::size_t shards = 4;
   /// How long the scheduler holds a partial group past its oldest arrival.
   std::chrono::microseconds max_delay{2000};
   /// 0 = bound-guided bucket per model (choose_batch_bucket); otherwise a
@@ -144,9 +148,11 @@ class InferenceServer {
   ServerOptions opts_;
   std::map<std::string, ServedModel> models_;
   TenantTable tenants_;
-  ServerStats stats_;
+  /// One stripe per ingest shard + the exec stripe the engine records
+  /// into; snapshot() folds them all.
+  StripedServerStats stats_;
   ServeEngine engine_;
-  RequestQueue queue_;
+  ShardedRequestQueue queue_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::unique_ptr<ThreadPool> workers_;
   std::mutex slots_mu_;

@@ -1,0 +1,190 @@
+// Sharded serving front door: N RequestQueue shards behind a facade that
+// preserves the single-queue contract.
+//
+// Why: every producer thread, the scheduler, and every stats read used to
+// serialize on ONE queue mutex (and the depth() read on the submit path
+// took it twice). At high producer counts the lock — not the accelerators —
+// is the bottleneck. Sharding splits the mutex N ways and moves the global
+// accounting (depth, per-class totals) onto relaxed atomics, so submit is
+// lock-striped: two uncontended atomic ops plus one shard mutex instead of
+// the global mutex, and depth()/class_depth() are lock-free reads.
+//
+// Shard selection: shard_of(model, class) = (hash(model) + class_index)
+// mod N. Hashing the model keeps each model's traffic on one shard per
+// class (collect touches at most `num_classes` shards, and within a shard
+// EDF order is exact); adding the class index as tiebreak spreads a hot
+// model's tenant classes across shards instead of piling them onto one.
+//
+// Admission is decided at the facade on relaxed atomics *before* touching
+// any shard, reservation-style: depth is fetch_add'd, checked against
+// global capacity, and undone on rejection (likewise the per-class counter
+// against its weighted-fair share when fill >= congestion x capacity).
+// The counters therefore never exceed their caps and strict global
+// capacity/quota semantics survive sharding — per-shard capacity never
+// binds (each shard is sized to the global capacity). A capacity rejection
+// sweeps all shards for expired entries once and retries, matching the
+// single-queue rule that dead occupants never cost live traffic a
+// rejection. The shard insert itself goes through RequestQueue::readmit,
+// which bypasses the shard's own capacity/quota but respects close — the
+// shard's closed bit decides submit-vs-stop races exactly as before.
+//
+// Ordering is approximate-global-EDF: exact EDF within each shard;
+// wait_front scans the N shard heads and reports the globally most urgent
+// one. A request can be collected before a *more* urgent request of a
+// different model+class pair that hashed to another shard whose head was
+// less urgent at scan time — the inversion is bounded at shard
+// granularity (never within a shard, and wait_front itself always names
+// the true global minimum at scan time; see docs/serving.md and the
+// ApproximateGlobalEdf test).
+//
+// Expiry stays queue-owned per shard; the facade interposes on each
+// shard's on_expired to keep the global atomics in step before forwarding
+// to the owner's callback. Cross-shard blocking (wait_front, collect's
+// group wait) uses a facade-level condition variable with a version
+// counter: every shard notification bumps the version, so a waiter never
+// sleeps through a push to a shard it wasn't watching.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "convbound/serve/queue.hpp"
+#include "convbound/serve/tenancy.hpp"
+
+namespace convbound {
+
+class ShardedRequestQueue {
+ public:
+  using Admit = RequestQueue::Admit;
+
+  /// `capacity` is the *global* bound; `shards` >= 1 (clamped).
+  ShardedRequestQueue(std::size_t capacity, std::size_t shards);
+  ShardedRequestQueue(const ShardedRequestQueue&) = delete;
+  ShardedRequestQueue& operator=(const ShardedRequestQueue&) = delete;
+
+  /// Same contract as RequestQueue::set_tenancy; call before any thread
+  /// touches the queue. Quota is enforced on the facade's cross-shard
+  /// class totals, not per shard.
+  void set_tenancy(const TenantTable* table, double congestion);
+
+  /// Same contract as RequestQueue::set_on_expired: (class index, count)
+  /// for queue-expired requests, called after the global counters already
+  /// reflect the removal.
+  void set_on_expired(std::function<void(std::size_t, std::size_t)> fn) {
+    on_expired_ = std::move(fn);
+  }
+
+  /// The shard `(model, class_index)` traffic lands on. Exposed so the
+  /// submit path can route its stats recording to the matching stripe.
+  std::size_t shard_of(const std::string& model,
+                       std::size_t class_index) const {
+    return (std::hash<std::string>{}(model) + class_index) % shards_.size();
+  }
+
+  /// Facade-level admission (strict global capacity + weighted-fair
+  /// quota), then sharded insert. On kOk, `depth_after` receives the
+  /// global depth right after this insert's reservation.
+  Admit push(PendingRequest&& p, std::size_t* depth_after = nullptr);
+
+  /// Bypasses capacity and quota (requeue path); false when closed.
+  bool readmit(PendingRequest&& p);
+
+  /// Blocks until some shard holds a live entry or the queue is closed
+  /// and empty. Reports the most urgent shard head (approximate-global-
+  /// EDF; exact at scan time).
+  bool wait_front(std::string* model, ServeTimePoint* enqueued);
+
+  /// Waits until `max_n` live requests of `model` are queued across the
+  /// shards the model can land on, `deadline` passes, or the queue
+  /// closes; then gathers up to `max_n`, visiting candidate shards most-
+  /// urgent-head-first (each shard's chunk is exact-EDF).
+  std::vector<PendingRequest> collect(const std::string& model,
+                                      std::size_t max_n,
+                                      ServeTimePoint deadline);
+
+  /// Answers and removes expired entries in every shard.
+  void sweep_expired();
+
+  void close();
+  std::vector<PendingRequest> drain();
+
+  /// Lock-free global depth (relaxed read of the reservation counter).
+  std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Lock-free cross-shard total for class `i`.
+  std::size_t class_depth(std::size_t i) const;
+  /// Per-shard depth (shard mutex; tests/introspection only).
+  std::size_t shard_depth(std::size_t s) const { return shards_[s]->depth(); }
+
+ private:
+  /// Bumps the facade version and wakes cross-shard waiters. Called by
+  /// every shard's notifier and after facade-side removals. Lock-free
+  /// when no waiter is registered (the common case on the submit hot
+  /// path): one seq_cst increment plus one seq_cst load.
+  void notify();
+
+  /// Sleeps until the version moves past `seen` (or `deadline`, when
+  /// non-null). The seq_cst version/waiters pair makes this a classic
+  /// eventcount: a notifier that misses the waiter count is guaranteed to
+  /// have published its version bump before the waiter's predicate reads
+  /// it, so no wakeup is lost.
+  void wait_version(std::uint64_t seen, const ServeTimePoint* deadline);
+
+  /// Cross-shard counter for class `i`; out-of-range indices fold into
+  /// class 0 (only reachable when callers bypass set_tenancy's contract —
+  /// accounting degrades, never UB).
+  std::atomic<std::size_t>& cls_counter(std::size_t i) {
+    return *class_depth_[i < class_depth_.size() ? i : 0];
+  }
+
+  /// Weighted-fair share of global capacity for class `i` (>= 1).
+  std::size_t class_share(std::size_t i) const;
+
+  /// Undoes a push reservation (rejection/closed paths).
+  void unreserve(std::size_t class_index, bool reserved_quota);
+
+  /// Subtracts `n` removed entries of class `cls` from the global
+  /// counters (collect/drain/expiry paths).
+  void note_removed(std::size_t cls, std::size_t n);
+
+  /// Live entries of `model` across its candidate shards.
+  std::size_t count_model_live(const std::string& model,
+                               const std::vector<std::size_t>& candidates);
+
+  /// Distinct shards `(model, class)` can land on for any configured
+  /// class — the only shards collect has to visit.
+  std::vector<std::size_t> candidate_shards(const std::string& model) const;
+
+  std::vector<std::unique_ptr<RequestQueue>> shards_;
+  const std::size_t capacity_;
+
+  // Reservation counters: never exceed capacity_ / the class share.
+  std::atomic<std::size_t> depth_{0};
+  std::vector<std::unique_ptr<std::atomic<std::size_t>>> class_depth_;
+
+  // Cross-shard wakeup: shards notify -> version bump; waiters sleep on
+  // cv_ until the version moves. The facade mutex is only taken by
+  // waiters and by notifiers that observe waiters_ > 0, so it is not on
+  // the contended submit path.
+  mutable std::mutex wait_mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::size_t> waiters_{0};
+
+  std::atomic<bool> closed_{false};
+  std::function<void(std::size_t, std::size_t)> on_expired_;
+  const TenantTable* table_ = nullptr;
+  double congestion_ = 1.0;
+  double weight_sum_ = 1.0;
+  std::size_t num_classes_ = 1;
+};
+
+}  // namespace convbound

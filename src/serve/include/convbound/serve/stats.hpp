@@ -1,6 +1,10 @@
 // Serving observability: counters, latency telemetry, batch-size
-// histogram. One mutex guards everything — recording happens per batch and
-// per rejection, far off any per-element hot path.
+// histogram. ServerStats guards one accumulator with one mutex; the sharded
+// front door gives each ingest shard its own ServerStats *stripe*
+// (StripedServerStats below) so submit-path recording never contends on a
+// global stats lock — stripes are folded bucket-wise at snapshot time via
+// merge_snapshots, which the exact mergeable LatencyHistogram makes
+// lossless.
 //
 // Latencies live in a log-bucketed LatencyHistogram (fixed geometric
 // ladder, 5% relative resolution from 1µs to 100s — see
@@ -14,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -150,6 +155,44 @@ class ServerStats {
   std::map<int, std::uint64_t> histogram_;
   std::map<std::string, ClassCounters> classes_;
   std::size_t max_queue_depth_ = 0;
+};
+
+/// Lock-striped server stats for the sharded front door: one ServerStats
+/// stripe per ingest shard (submit-path recording goes to the stripe of
+/// the shard the request hashed to, so producers on different shards never
+/// share a stats mutex) plus one dedicated *exec* stripe the batch
+/// executor records completions into (the executor is one thread; giving
+/// it its own stripe keeps it off every producer's lock).
+///
+/// snapshot() folds ALL stripes through merge_snapshots — counters sum,
+/// latency histograms add bucket-wise (exact), wall time takes the max,
+/// modelled rps is recomputed from total completions over the makespan.
+/// Reading any single stripe as if it were the whole server (the PR 6
+/// front-door override bug this replaces) undercounts by whatever landed
+/// on the other stripes; the skewed-stripe regression test pins this.
+class StripedServerStats {
+ public:
+  /// `stripes` submit stripes (>= 1, clamped) + the exec stripe.
+  explicit StripedServerStats(std::size_t stripes);
+  StripedServerStats(const StripedServerStats&) = delete;
+  StripedServerStats& operator=(const StripedServerStats&) = delete;
+
+  void mark_start();
+
+  /// Submit-path stripe `i` (callers pass the ingest shard index; values
+  /// >= num_stripes() wrap).
+  ServerStats& stripe(std::size_t i) { return *stripes_[i % num_stripes()]; }
+  /// The executor's dedicated stripe (batches, failures, expiry).
+  ServerStats& exec_stripe() { return *stripes_.back(); }
+  /// Submit stripes only (excludes the exec stripe).
+  std::size_t num_stripes() const { return stripes_.size() - 1; }
+
+  /// Fold of every stripe (submit + exec); see class comment.
+  StatsSnapshot snapshot() const;
+
+ private:
+  /// [0, n) submit stripes, [n] exec stripe.
+  std::vector<std::unique_ptr<ServerStats>> stripes_;
 };
 
 }  // namespace convbound

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace convbound {
 
@@ -30,40 +31,39 @@ std::size_t RequestQueue::class_share(std::size_t i) const {
   return std::max<std::size_t>(1, share);
 }
 
-std::size_t RequestQueue::most_urgent_locked() const {
-  std::size_t best = items_.size();
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    if (best == items_.size()) {
-      best = i;
-      continue;
-    }
-    const auto di = items_[i].effective_deadline();
-    const auto db = items_[best].effective_deadline();
-    if (di < db || (di == db && items_[i].enqueued < items_[best].enqueued))
-      best = i;
-  }
-  return best;
+void RequestQueue::insert_locked(PendingRequest&& p) {
+  bump_class(p.class_index, +1);
+  ++model_counts_[p.request.model];
+  UrgencyKey key{p.effective_deadline(), p.enqueued, next_seq_++};
+  items_.emplace_hint(items_.end(), key, std::move(p));
+}
+
+PendingRequest RequestQueue::remove_locked(
+    std::map<UrgencyKey, PendingRequest>::iterator it) {
+  PendingRequest p = std::move(it->second);
+  bump_class(p.class_index, -1);
+  auto mit = model_counts_.find(p.request.model);
+  if (mit != model_counts_.end() && --mit->second == 0)
+    model_counts_.erase(mit);
+  items_.erase(it);
+  return p;
 }
 
 void RequestQueue::expire_locked(ServeTimePoint now) {
+  // Expired entries are exactly the prefix of the EDF-ordered map whose
+  // key deadline is before now (key.deadline == effective_deadline).
   std::vector<std::size_t> per_class;
   std::size_t total = 0;
-  for (auto it = items_.begin(); it != items_.end();) {
-    if (it->effective_deadline() < now) {
-      InferResponse r;
-      r.status = ServeStatus::kDeadlineExceeded;
-      r.latency_seconds =
-          std::chrono::duration<double>(now - it->enqueued).count();
-      it->promise.set_value(std::move(r));
-      bump_class(it->class_index, -1);
-      if (per_class.size() <= it->class_index)
-        per_class.resize(it->class_index + 1, 0);
-      ++per_class[it->class_index];
-      ++total;
-      it = items_.erase(it);
-    } else {
-      ++it;
-    }
+  while (!items_.empty() && items_.begin()->first.deadline < now) {
+    PendingRequest p = remove_locked(items_.begin());
+    InferResponse r;
+    r.status = ServeStatus::kDeadlineExceeded;
+    r.latency_seconds =
+        std::chrono::duration<double>(now - p.enqueued).count();
+    p.promise.set_value(std::move(r));
+    if (per_class.size() <= p.class_index) per_class.resize(p.class_index + 1, 0);
+    ++per_class[p.class_index];
+    ++total;
   }
   // Completed futures must never be visible before the counter reflects
   // them, so the report happens under mu_ (the handler takes its own lock).
@@ -73,7 +73,8 @@ void RequestQueue::expire_locked(ServeTimePoint now) {
   }
 }
 
-RequestQueue::Admit RequestQueue::push(PendingRequest&& p) {
+RequestQueue::Admit RequestQueue::push(PendingRequest&& p,
+                                       std::size_t* depth_after) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return Admit::kClosed;
@@ -97,10 +98,10 @@ RequestQueue::Admit RequestQueue::push(PendingRequest&& p) {
       if (over_capacity()) return Admit::kFull;
       if (over_quota()) return Admit::kQuota;
     }
-    bump_class(p.class_index, +1);
-    items_.push_back(std::move(p));
+    insert_locked(std::move(p));
+    if (depth_after) *depth_after = items_.size();
   }
-  cv_.notify_all();
+  notify_all();
   return Admit::kOk;
 }
 
@@ -108,10 +109,9 @@ bool RequestQueue::readmit(PendingRequest&& p) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return false;
-    bump_class(p.class_index, +1);
-    items_.push_back(std::move(p));
+    insert_locked(std::move(p));
   }
-  cv_.notify_all();
+  notify_all();
   return true;
 }
 
@@ -120,14 +120,52 @@ bool RequestQueue::wait_front(std::string* model, ServeTimePoint* enqueued) {
   for (;;) {
     expire_locked(ServeClock::now());
     if (!items_.empty()) {
-      const std::size_t i = most_urgent_locked();
-      *model = items_[i].request.model;
-      *enqueued = items_[i].enqueued;
+      const auto& front = items_.begin()->second;
+      *model = front.request.model;
+      *enqueued = front.enqueued;
       return true;
     }
     if (closed_) return false;
     cv_.wait(lock);
   }
+}
+
+bool RequestQueue::peek_front(std::string* model, ServeTimePoint* enqueued,
+                              ServeTimePoint* effective_deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_locked(ServeClock::now());
+  if (items_.empty()) return false;
+  const auto& it = *items_.begin();
+  if (model) *model = it.second.request.model;
+  if (enqueued) *enqueued = it.second.enqueued;
+  if (effective_deadline) *effective_deadline = it.first.deadline;
+  return true;
+}
+
+bool RequestQueue::peek_model(const std::string& model,
+                              ServeTimePoint* effective_deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_locked(ServeClock::now());
+  if (model_counts_.find(model) == model_counts_.end()) return false;
+  for (const auto& [key, p] : items_) {
+    if (p.request.model == model) {
+      if (effective_deadline) *effective_deadline = key.deadline;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t RequestQueue::count_model_live(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_locked(ServeClock::now());
+  auto it = model_counts_.find(model);
+  return it == model_counts_.end() ? 0 : it->second;
+}
+
+void RequestQueue::sweep_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  expire_locked(ServeClock::now());
 }
 
 std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
@@ -139,39 +177,23 @@ std::vector<PendingRequest> RequestQueue::collect(const std::string& model,
     // Sweeping inside the predicate keeps dead requests from counting
     // toward (or blocking) group formation; the lock is held here.
     expire_locked(ServeClock::now());
-    std::size_t n = 0;
-    for (const auto& p : items_)
-      if (p.request.model == model && ++n >= max_n) return true;
-    return false;
+    auto it = model_counts_.find(model);
+    return it != model_counts_.end() && it->second >= max_n;
   };
   cv_.wait_until(lock, deadline, have_group);
   expire_locked(ServeClock::now());
 
-  // Gather this model's entries most-urgent-first (EDF on effective
-  // deadline, arrival as tiebreak), cap at max_n, then remove by index.
-  std::vector<std::size_t> idx;
-  for (std::size_t i = 0; i < items_.size(); ++i)
-    if (items_[i].request.model == model) idx.push_back(i);
-  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    const auto da = items_[a].effective_deadline();
-    const auto db = items_[b].effective_deadline();
-    if (da != db) return da < db;
-    if (items_[a].enqueued != items_[b].enqueued)
-      return items_[a].enqueued < items_[b].enqueued;
-    return a < b;
-  });
-  if (idx.size() > max_n) idx.resize(max_n);
-
+  // The map is already EDF-ordered, so a front-to-back walk yields this
+  // model's entries most-urgent-first; no sort needed.
   std::vector<PendingRequest> out;
-  out.reserve(idx.size());
-  for (std::size_t i : idx) {
-    bump_class(items_[i].class_index, -1);
-    out.push_back(std::move(items_[i]));
+  for (auto it = items_.begin(); it != items_.end() && out.size() < max_n;) {
+    if (it->second.request.model == model) {
+      auto victim = it++;
+      out.push_back(remove_locked(victim));
+    } else {
+      ++it;
+    }
   }
-  // Erase from the back so earlier indices stay valid.
-  std::sort(idx.begin(), idx.end(), std::greater<std::size_t>());
-  for (std::size_t i : idx)
-    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
   return out;
 }
 
@@ -180,16 +202,23 @@ void RequestQueue::close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  notify_all();
 }
 
 std::vector<PendingRequest> RequestQueue::drain() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<PendingRequest> out(std::make_move_iterator(items_.begin()),
-                                  std::make_move_iterator(items_.end()));
+  std::vector<PendingRequest> out;
+  out.reserve(items_.size());
+  for (auto& [key, p] : items_) out.push_back(std::move(p));
   items_.clear();
+  model_counts_.clear();
   std::fill(class_depth_.begin(), class_depth_.end(), 0);
   return out;
+}
+
+void RequestQueue::notify_all() {
+  cv_.notify_all();
+  if (notifier_) notifier_();
 }
 
 std::size_t RequestQueue::depth() const {

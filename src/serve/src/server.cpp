@@ -11,14 +11,17 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models,
     : opts_(std::move(opts)),
       models_(index_models(std::move(models))),
       tenants_(opts_.classes),
-      engine_(models_, opts_.engine_options(), &stats_),
-      queue_(opts_.max_queue) {
+      stats_(opts_.shards),
+      engine_(models_, opts_.engine_options(), &stats_.exec_stripe()),
+      queue_(opts_.max_queue, opts_.shards) {
   CB_CHECK_MSG(opts_.workers >= 1, "workers must be >= 1");
   queue_.set_tenancy(&tenants_, opts_.admission_congestion);
   // The queue answers expired requests itself (promptly, freeing capacity);
-  // it reports them here so the stats stay in step with the futures.
+  // it reports them here so the stats stay in step with the futures. Expiry
+  // runs on whichever thread swept it; the exec stripe keeps it off the
+  // submit stripes' locks.
   queue_.set_on_expired([this](std::size_t cls, std::size_t n) {
-    stats_.record_expired(
+    stats_.exec_stripe().record_expired(
         n, cls < tenants_.size() ? tenants_.cls(cls).name : std::string());
   });
 }
@@ -92,24 +95,31 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
     p.promise.set_value(std::move(r));
     return fut;
   }
+  // Stats recording goes to this request's shard stripe, so producers
+  // hashed to different shards never contend on a stats lock either.
+  ServerStats& stripe =
+      stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
   // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
   // re-read of stopped_) decides shutdown races, so a submit that loses to
   // a concurrent stop() resolves kShutdown instead of hanging.
-  switch (queue_.push(std::move(p))) {
+  std::size_t depth_after = 0;
+  switch (queue_.push(std::move(p), &depth_after)) {
     case RequestQueue::Admit::kOk:
-      stats_.record_submitted(queue_.depth(), cls);
+      // depth_after came out of the push itself — the old code re-locked
+      // the queue with queue_.depth() right after push released it.
+      stripe.record_submitted(depth_after, cls);
       return fut;
     case RequestQueue::Admit::kFull: {
       InferResponse r;
       r.status = ServeStatus::kRejected;
-      stats_.record_rejected(cls);
+      stripe.record_rejected(cls);
       p.promise.set_value(std::move(r));
       return fut;
     }
     case RequestQueue::Admit::kQuota: {
       InferResponse r;
       r.status = ServeStatus::kQuotaExceeded;
-      stats_.record_quota_rejected(cls);
+      stripe.record_quota_rejected(cls);
       p.promise.set_value(std::move(r));
       return fut;
     }

@@ -199,4 +199,24 @@ StatsSnapshot ServerStats::snapshot() const {
   return s;
 }
 
+StripedServerStats::StripedServerStats(std::size_t stripes) {
+  const std::size_t n = std::max<std::size_t>(1, stripes);
+  stripes_.reserve(n + 1);
+  for (std::size_t i = 0; i < n + 1; ++i)
+    stripes_.push_back(std::make_unique<ServerStats>());
+}
+
+void StripedServerStats::mark_start() {
+  for (auto& s : stripes_) s->mark_start();
+}
+
+StatsSnapshot StripedServerStats::snapshot() const {
+  // Every stripe, submit and exec alike: a snapshot that read only one
+  // stripe would miss whatever the other shards' producers recorded.
+  std::vector<StatsSnapshot> parts;
+  parts.reserve(stripes_.size());
+  for (const auto& s : stripes_) parts.push_back(s->snapshot());
+  return merge_snapshots(parts);
+}
+
 }  // namespace convbound

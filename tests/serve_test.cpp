@@ -451,6 +451,60 @@ TEST(RequestQueue, EdfOrdersByEffectiveDeadline) {
   EXPECT_EQ(q.depth(), 3u);  // far, tight, and the 90s "x" stay queued
 }
 
+TEST(RequestQueue, EdfFifoTieOrderSurvivesOrderedMapStore) {
+  // Pin the ordering contract across the data-structure swap (deque +
+  // O(n) most-urgent scan -> map sorted on (effective_deadline, enqueued,
+  // seq)): identical effective deadlines fall back to arrival order, and
+  // identical arrivals fall back to insertion order — plain FIFO for
+  // deadline-free traffic.
+  RequestQueue q(16);
+  const auto now = ServeClock::now();
+  const auto at = [&](int ms) { return now + std::chrono::milliseconds(ms); };
+  const auto pending = [&](ServeTimePoint deadline, ServeTimePoint enqueued,
+                           int tag) {
+    PendingRequest p;
+    p.request.model = "m";
+    p.request.deadline = deadline;
+    p.enqueued = enqueued;
+    p.request.tenant = "t" + std::to_string(tag);  // identifies the entry
+    return p;
+  };
+
+  // Same deadline, different arrivals (pushed out of arrival order).
+  ASSERT_EQ(q.push(pending(at(60'000), at(2), 1)), RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending(at(60'000), at(1), 0)), RequestQueue::Admit::kOk);
+  // No deadline at all, identical arrival timestamps: insertion order.
+  ASSERT_EQ(q.push(pending(ServeTimePoint::max(), at(3), 2)),
+            RequestQueue::Admit::kOk);
+  ASSERT_EQ(q.push(pending(ServeTimePoint::max(), at(3), 3)),
+            RequestQueue::Admit::kOk);
+  // A later-pushed but more urgent deadline still jumps the whole line.
+  ASSERT_EQ(q.push(pending(at(30'000), at(4), 4)), RequestQueue::Admit::kOk);
+
+  const auto group = q.collect("m", 5, ServeClock::now());
+  ASSERT_EQ(group.size(), 5u);
+  EXPECT_EQ(group[0].request.tenant, "t4");  // EDF first
+  EXPECT_EQ(group[1].request.tenant, "t0");  // tie -> earlier arrival
+  EXPECT_EQ(group[2].request.tenant, "t1");
+  EXPECT_EQ(group[3].request.tenant, "t2");  // tie on arrival -> insertion
+  EXPECT_EQ(group[4].request.tenant, "t3");
+}
+
+TEST(RequestQueue, PushReportsPostInsertDepth) {
+  // Satellite fix for the submit double-lock: the depth the stats need
+  // comes out of push under the same lock as the insert.
+  RequestQueue q(4);
+  std::size_t depth_after = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    PendingRequest p;
+    p.request.model = "m";
+    p.enqueued = ServeClock::now();
+    ASSERT_EQ(q.push(std::move(p), &depth_after), RequestQueue::Admit::kOk);
+    EXPECT_EQ(depth_after, i + 1);
+    EXPECT_EQ(q.depth(), depth_after);
+  }
+}
+
 TEST(RequestQueue, WeightedFairQuotaBindsOnlyAboveCongestion) {
   // capacity 8, paid:free weights 3:1 -> shares 6 and 2; congestion 0.5
   // -> quotas bind once 4 entries are queued.

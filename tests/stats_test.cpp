@@ -286,5 +286,59 @@ TEST(MergeSnapshots, WeightedAverageOverstatesWhenTailIsThin) {
   EXPECT_GE(std::abs(weighted_p99 - exact_p99) / exact_p99, 0.30);
 }
 
+// ------------------------------------ striped front-door stats (sharded) ----
+
+// Regression for the sharded front door's counter fold: the cluster's
+// fleet-snapshot override (PR 6) takes the front-door counters from the
+// front stats object *before* the device merge. With striped stats that
+// object holds one stripe per ingest shard, and the fold must sum every
+// stripe — reading stripe 0 (the natural porting mistake) reports only the
+// slice of traffic that hashed to shard 0. The stripes here are
+// deliberately skewed so that mistake cannot pass.
+TEST(StripedServerStats, SnapshotFoldsSkewedStripesNotStripeZero) {
+  StripedServerStats stats(4);
+  ASSERT_EQ(stats.num_stripes(), 4u);
+  stats.mark_start();
+
+  // Heavily skewed: stripe 0 sees almost nothing; stripe 2 carries the
+  // submit volume; rejections land on stripes 1 and 3; expiry and the
+  // completions live on the exec stripe.
+  stats.stripe(0).record_submitted(1, "paid");
+  for (int i = 0; i < 100; ++i)
+    stats.stripe(2).record_submitted(static_cast<std::size_t>(i), "paid");
+  for (int i = 0; i < 7; ++i) stats.stripe(1).record_rejected("free");
+  for (int i = 0; i < 5; ++i) stats.stripe(3).record_quota_rejected("free");
+  stats.exec_stripe().record_expired(3, "free");
+  stats.exec_stripe().record_batch(2, 1e-3, {1e-3, 2e-3}, {"paid", "paid"});
+
+  const StatsSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.submitted, 1u + 100u + 7u + 5u);  // rejects count as submits
+  EXPECT_EQ(s.rejected, 7u);
+  EXPECT_EQ(s.quota_rejected, 5u);
+  EXPECT_EQ(s.expired, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.batches, 1u);
+  // The queue-depth watermark is the max over stripes' samples (each
+  // sample is a *global* depth), not stripe 0's local high-water mark.
+  EXPECT_EQ(s.max_queue_depth, 99u);
+  // Per-class slices fold the same way.
+  ASSERT_TRUE(s.classes.count("paid"));
+  ASSERT_TRUE(s.classes.count("free"));
+  EXPECT_EQ(s.classes.at("paid").submitted, 101u);
+  EXPECT_EQ(s.classes.at("paid").completed, 2u);
+  EXPECT_EQ(s.classes.at("free").rejected, 7u);
+  EXPECT_EQ(s.classes.at("free").quota_rejected, 5u);
+  EXPECT_EQ(s.classes.at("free").expired, 3u);
+  // Latency telemetry (exec stripe only here) survives the fold exactly.
+  EXPECT_DOUBLE_EQ(s.latency_max, 2e-3);
+  EXPECT_EQ(s.latency.count(), 2u);
+
+  // The regression itself: stripe 0 alone is nowhere near the fold — any
+  // consumer reading one stripe as "the front door" undercounts ~100x.
+  const StatsSnapshot stripe0 = stats.stripe(0).snapshot();
+  EXPECT_EQ(stripe0.submitted, 1u);
+  EXPECT_LT(stripe0.submitted * 50, s.submitted);
+}
+
 }  // namespace
 }  // namespace convbound

@@ -46,25 +46,43 @@ def load_json(path):
         sys.exit(2)
 
 
-def lookup(doc, metric, role, path, errors):
+def band_desc(gate, tol):
+    """One-line description of a gate's acceptance band, for error reports.
+
+    A collected error names a metric CI could not even compare; printing the
+    band the metric was supposed to satisfy alongside it tells the reader
+    what the gate *would* have checked without a round-trip to gates.json.
+    """
+    parts = [f"direction {gate.get('direction', 'higher')}",
+             f"tolerance {tol:.0%}"]
+    if "absolute_min" in gate:
+        parts.append(f"absolute_min {gate['absolute_min']}")
+    if "absolute_max" in gate:
+        parts.append(f"absolute_max {gate['absolute_max']}")
+    return ", ".join(parts)
+
+
+def lookup(doc, metric, role, path, errors, band):
     """Returns the metric's value, or None after recording a clear error.
 
     Missing keys are *collected*, not fatal one at a time: a gates.json that
     names several metrics a bench no longer (or does not yet) emit reports
     every gap in one run instead of one KeyError-style bail per CI round.
+    Each error carries the gate's band (see band_desc).
     """
     if metric not in doc:
         errors.append(
             f"metric '{metric}' not in {role} {path} "
             f"(top-level keys: {', '.join(sorted(doc)) or 'none'}) — the "
             "bench must emit it and the baseline must be refreshed "
-            "(docs/ci.md)")
+            f"(docs/ci.md) [gate band: {band}]")
         return None
     v = doc[metric]
     if not isinstance(v, (int, float)) or isinstance(v, bool):
         errors.append(
             f"metric '{metric}' in {role} {path} is {type(v).__name__}, "
-            "not a number — gates compare scalar metrics only")
+            f"not a number — gates compare scalar metrics only "
+            f"[gate band: {band}]")
         return None
     return float(v)
 
@@ -100,6 +118,7 @@ def main():
             continue
         direction = g.get("direction", "higher")
         tol = float(g.get("tolerance", default_tol))
+        band = band_desc(g, tol)
         missing_file = False
         for role, d in (("base", args.baseline_dir), ("fresh", args.fresh_dir)):
             key = (role, fname)
@@ -110,16 +129,16 @@ def main():
                 else:
                     errors.append(
                         f"missing {role} file {path} (gated metric "
-                        f"'{metric}')")
+                        f"'{metric}') [gate band: {band}]")
                     cache[key] = None
             if cache[key] is None:
                 missing_file = True
         if missing_file:
             continue
         base = lookup(cache[("base", fname)], metric, "baseline", fname,
-                      errors)
+                      errors, band)
         fresh = lookup(cache[("fresh", fname)], metric, "fresh", fname,
-                       errors)
+                       errors, band)
         if base is None or fresh is None:
             continue
 

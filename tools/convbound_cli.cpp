@@ -19,21 +19,24 @@
 //       (algorithm, config, predicted I/O vs the I/O lower bound); with a
 //       single shape, print the full candidate ranking. --mode tuned
 //       consults/fills the tune cache; analytic (default) executes nothing.
-//   serve  [--models CSV] [--clients N] [--requests N] [--layers N]
-//          [--chan-cap N] [--spatial-cap N] [--serve-workers N]
-//          [--replicas N] [--queue N] [--delay-us N] [--bucket N]
-//          [--max-bucket N] [--mode measured|tuned] [--budget N]
-//          [--machine NAME]
+//   serve  [--models CSV] [--clients N] [--producers N] [--requests N]
+//          [--layers N] [--chan-cap N] [--spatial-cap N] [--serve-workers N]
+//          [--replicas N] [--queue N] [--shards N] [--delay-us N]
+//          [--bucket N] [--max-bucket N] [--mode measured|tuned]
+//          [--budget N] [--machine NAME]
 //       Closed-loop self-benchmark of the micro-batching inference server:
 //       N client threads each send `requests` back-to-back requests across
 //       the (scaled-down) models; prints the bound-guided bucket tables,
 //       throughput, latency percentiles, and the batch-size histogram.
 //       --bucket 0 (default) = bound-guided bucket; 1 = unbatched baseline.
+//       --shards sets the front door's ingest shards (lock-striped submit;
+//       1 = single-queue exact-EDF); --producers overrides --clients for
+//       the number of submitting threads (contention knob).
 //   cluster [--devices CSV] [--policy bound|rr|least] [--models CSV]
 //           [--clients N] [--requests N] [--layers N] [--chan-cap N]
 //           [--spatial-cap N] [--dev-workers N] [--replicas N]
-//           [--pending N] [--queue N] [--delay-us N] [--bucket N]
-//           [--max-bucket N] [--mode measured|tuned] [--budget N]
+//           [--pending N] [--queue N] [--shards N] [--delay-us N]
+//           [--bucket N] [--max-bucket N] [--mode measured|tuned] [--budget N]
 //           [--classes CSV] [--congestion PCT]
 //           [--kill N] [--kill-after-ms N] [--revive warm|cold]
 //       Closed-loop self-benchmark of the heterogeneous multi-accelerator
@@ -367,6 +370,7 @@ int cmd_serve(const Args& a) {
   opts.workers = static_cast<int>(a.geti("serve-workers", 2));
   opts.replicas = static_cast<int>(a.geti("replicas", 1));
   opts.max_queue = static_cast<std::size_t>(a.geti("queue", 256));
+  opts.shards = static_cast<std::size_t>(a.geti("shards", 4));
   opts.max_delay = std::chrono::microseconds(a.geti("delay-us", 2000));
   opts.force_bucket = a.geti("bucket", 0);
   opts.policy.max_bucket = a.geti("max-bucket", 8);
@@ -402,7 +406,10 @@ int cmd_serve(const Args& a) {
   }
   std::printf("%s\n", buckets.to_string().c_str());
 
-  const int clients = static_cast<int>(a.geti("clients", 4));
+  // --producers is the contention knob for the sharded front door: it
+  // overrides --clients as the number of submitting threads.
+  const int clients =
+      static_cast<int>(a.geti("producers", a.geti("clients", 4)));
   const int per_client = static_cast<int>(a.geti("requests", 16));
   WallTimer load_timer;
   // Failures are counted, never thrown: an exception escaping a client
@@ -488,6 +495,7 @@ int cmd_cluster(const Args& a) {
   }
   opts.policy = route_policy_by_name(a.gets("policy", "bound"));
   opts.max_queue = static_cast<std::size_t>(a.geti("queue", 1024));
+  opts.shards = static_cast<std::size_t>(a.geti("shards", 4));
   opts.max_delay = std::chrono::microseconds(a.geti("delay-us", 2000));
   opts.force_bucket = a.geti("bucket", 0);
   opts.batch_policy.max_bucket = a.geti("max-bucket", 8);
