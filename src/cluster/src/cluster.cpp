@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "convbound/obs/trace.hpp"
 #include "convbound/util/check.hpp"
 #include "convbound/util/thread_pool.hpp"
 
@@ -23,11 +24,14 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
     stats_.exec_stripe().record_expired(
         n, cls < tenants_.size() ? tenants_.cls(cls).name : std::string());
   });
-  const EngineOptions eopts = opts_.engine_options();
+  EngineOptions eopts = opts_.engine_options();
   for (std::size_t i = 0; i < opts_.devices.size(); ++i) {
     DeviceConfig cfg = opts_.devices[i];
     if (cfg.name.empty())
       cfg.name = "d" + std::to_string(i) + ":" + cfg.spec.name;
+    // Each device engine stamps its fleet index on trace events, so a
+    // trace separates the devices into their own process rows.
+    eopts.device_ordinal = static_cast<int>(i);
     devices_.push_back(
         std::make_unique<ClusterDevice>(models_, std::move(cfg), eopts));
   }
@@ -124,17 +128,26 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
                                                  ServeTimePoint::max());
   const std::string cls = p.tenant_class;
   std::future<InferResponse> fut = p.promise.get_future();
+  // Correlation id only when tracing (see InferenceServer::submit).
+  const bool tracing = obs::on();
+  if (tracing) p.trace_id = ObsRegistry::next_request_id();
+  const std::uint64_t trace_id = p.trace_id;
+  const ServeTimePoint enqueued = p.enqueued;
 
-  if (stopped_) {
-    InferResponse r;
-    r.status = ServeStatus::kShutdown;
-    p.promise.set_value(std::move(r));
-    return fut;
-  }
   // Stats recording goes to this request's shard stripe, so producers
   // hashed to different shards never contend on a stats lock either.
   ServerStats& stripe =
       stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
+
+  if (stopped_) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    stripe.record_shutdown_rejected(cls);
+    obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                 static_cast<double>(ServeStatus::kShutdown));
+    p.promise.set_value(std::move(r));
+    return fut;
+  }
   // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
   // re-read of stopped_) decides shutdown races, so a submit that loses to
   // a concurrent stop() resolves kShutdown instead of hanging.
@@ -144,11 +157,15 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
       // depth_after came out of the push itself — the old code re-locked
       // the queue with queue_.depth() right after push released it.
       stripe.record_submitted(depth_after, cls);
+      obs::instant(TraceStage::kAdmit, enqueued, trace_id, 0, -1,
+                   static_cast<double>(depth_after));
       return fut;
     case RequestQueue::Admit::kFull: {
       InferResponse r;
       r.status = ServeStatus::kRejected;
       stripe.record_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kRejected));
       p.promise.set_value(std::move(r));
       return fut;
     }
@@ -156,12 +173,17 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
       InferResponse r;
       r.status = ServeStatus::kQuotaExceeded;
       stripe.record_quota_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kQuotaExceeded));
       p.promise.set_value(std::move(r));
       return fut;
     }
     case RequestQueue::Admit::kClosed: {
       InferResponse r;
       r.status = ServeStatus::kShutdown;
+      stripe.record_shutdown_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kShutdown));
       p.promise.set_value(std::move(r));
       return fut;
     }
@@ -265,12 +287,14 @@ ClusterSnapshot ClusterServer::stats() const {
   snap.fleet.submitted = front.submitted;
   snap.fleet.rejected = front.rejected;
   snap.fleet.quota_rejected = front.quota_rejected;
+  snap.fleet.shutdown_rejected = front.shutdown_rejected;
   snap.fleet.expired += front.expired;
   for (const auto& [name, part] : front.classes) {
     ClassSnapshot& c = snap.fleet.classes[name];
     c.submitted = part.submitted;
     c.rejected = part.rejected;
     c.quota_rejected = part.quota_rejected;
+    c.shutdown_rejected = part.shutdown_rejected;
     c.expired += part.expired;
   }
   snap.fleet.wall_seconds = front.wall_seconds;
@@ -278,7 +302,16 @@ ClusterSnapshot ClusterServer::stats() const {
       front.wall_seconds > 0
           ? static_cast<double>(snap.fleet.completed) / front.wall_seconds
           : 0;
+  // Shard fields describe the fleet's shared front-door queue, not any
+  // device queue (devices drain scheduler groups, not shards).
   snap.fleet.queue_depth = queue_.depth();
+  snap.fleet.shard_depths.resize(queue_.num_shards());
+  snap.fleet.shard_max_depths.resize(queue_.num_shards());
+  for (std::size_t i = 0; i < queue_.num_shards(); ++i) {
+    snap.fleet.shard_depths[i] = queue_.shard_depth(i);
+    snap.fleet.shard_max_depths[i] = queue_.shard_max_depth(i);
+  }
+  snap.fleet.shard_imbalance = shard_imbalance_ratio(snap.fleet.shard_max_depths);
   snap.fleet.max_queue_depth = front.max_queue_depth;
   return snap;
 }

@@ -135,7 +135,9 @@ Placement Router::reserve(const std::string& model) {
   ++d.pending_groups;
   d.virtual_seconds += c.batch_seconds;  // the virtual clock never drains
   ++d.placements;
-  return Placement{c.bucket, chosen};
+  // The cost-table prediction rides along so the scheduler's placement
+  // trace event can show what the router believed this batch would cost.
+  return Placement{c.bucket, chosen, c.batch_seconds};
 }
 
 void Router::complete(int device, const std::string& model) {

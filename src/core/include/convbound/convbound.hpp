@@ -24,6 +24,7 @@
 #include "convbound/machine/sim_gpu.hpp"
 #include "convbound/ml/gbt.hpp"
 #include "convbound/nets/inference.hpp"
+#include "convbound/obs/trace.hpp"
 #include "convbound/nets/models.hpp"
 #include "convbound/pebble/dag.hpp"
 #include "convbound/pebble/game.hpp"

@@ -2,12 +2,15 @@
 
 #include "convbound/conv/direct.hpp"
 #include "convbound/conv/winograd.hpp"
+#include "convbound/obs/trace.hpp"
 
 namespace convbound {
 
-LaunchStats run_plan(SimGpu& gpu, const ConvPlan& plan,
-                     const Tensor4<float>& input,
-                     const Tensor4<float>& weights, Tensor4<float>& out) {
+namespace {
+
+LaunchStats dispatch_plan(SimGpu& gpu, const ConvPlan& plan,
+                          const Tensor4<float>& input,
+                          const Tensor4<float>& weights, Tensor4<float>& out) {
   const ConvShape& s = plan.shape;
   s.validate();
   CB_CHECK_MSG(out.n() == s.batch && out.c() == s.cout &&
@@ -32,6 +35,24 @@ LaunchStats run_plan(SimGpu& gpu, const ConvPlan& plan,
                           << to_string(plan.algorithm)
                           << " (the planner resolves best-of aliases)");
   return {};
+}
+
+}  // namespace
+
+LaunchStats run_plan(SimGpu& gpu, const ConvPlan& plan,
+                     const Tensor4<float>& input,
+                     const Tensor4<float>& weights, Tensor4<float>& out) {
+  // Per-layer trace spans: two clock reads per layer, gated so the
+  // tracing-off path pays one relaxed load and no clocks.
+  if (!obs::on())
+    return dispatch_plan(gpu, plan, input, weights, out);
+  const TraceClock::time_point t0 = TraceClock::now();
+  LaunchStats stats = dispatch_plan(gpu, plan, input, weights, out);
+  const TraceClock::time_point t1 = TraceClock::now();
+  // value carries the modelled layer time; the span's wall duration is the
+  // host-side simulation cost of the same layer.
+  obs::span(TraceStage::kLayerExec, t0, t1, 0, 0, -1, stats.sim_time);
+  return stats;
 }
 
 ConvExecutor::Execution ConvExecutor::execute(SimGpu& gpu,

@@ -46,6 +46,9 @@ struct EngineOptions {
   PlanMode plan_mode = PlanMode::kMeasured;
   int tune_budget = 16;
   std::uint64_t seed = 42;
+  /// Fleet ordinal stamped on this engine's trace events (0 for the
+  /// single-device server; the cluster sets each device's index).
+  int device_ordinal = 0;
 };
 
 class ServeEngine {

@@ -71,6 +71,17 @@ struct PendingRequest {
   /// enqueued + class latency budget; max() when the class has no budget.
   ServeTimePoint class_deadline = ServeTimePoint::max();
 
+  /// Trace correlation id (assigned at submit when tracing is enabled; 0
+  /// otherwise) and the batch id the scheduler stamps at group formation.
+  std::uint64_t trace_id = 0;
+  std::uint64_t batch_id = 0;
+  /// When the scheduler collected this request into a batch — the
+  /// queue_wait / batch_delay stage boundary. Default (epoch) means "never
+  /// collected"; the executor falls back to its own start time.
+  ServeTimePoint collected{};
+  /// Ingest shard this request landed on (stamped by ShardedRequestQueue).
+  std::uint32_t shard = 0;
+
   /// The deadline EDF ordering and expiry act on.
   ServeTimePoint effective_deadline() const {
     return request.deadline < class_deadline ? request.deadline
@@ -125,8 +136,10 @@ class RequestQueue {
   /// global admission). Bypasses capacity and quota — the request must not
   /// be silently lost to backpressure it already cleared — but respects
   /// close(): false means the queue is closed and the caller owns the
-  /// promise (shutdown path).
-  bool readmit(PendingRequest&& p);
+  /// promise (shutdown path). On success, `depth_after` (when non-null)
+  /// receives the post-insert depth, taken under the insert lock (the
+  /// sharded facade uses it for per-shard high-water marks).
+  bool readmit(PendingRequest&& p, std::size_t* depth_after = nullptr);
 
   /// Blocks until the queue holds a live (non-expired) entry or is closed.
   /// Expired entries encountered while waiting are answered and dropped.

@@ -41,6 +41,11 @@ namespace convbound {
 struct Placement {
   std::int64_t bucket = 1;
   int device = 0;
+  /// The reserver's predicted modelled execution time for a full bucket on
+  /// the chosen device (the Router's cost-table entry; the server's warm
+  /// plan replay). Recorded on the placement trace event so modelled vs.
+  /// wall is inspectable per batch; 0 when the reserver has no prediction.
+  double predicted_batch_seconds = 0;
 };
 
 class BatchScheduler {

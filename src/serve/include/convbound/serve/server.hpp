@@ -148,6 +148,10 @@ class InferenceServer {
   ServerOptions opts_;
   std::map<std::string, ServedModel> models_;
   TenantTable tenants_;
+  /// Predicted full-bucket batch seconds per model, read from the warm
+  /// engine once in start() so the reserve path never re-plans; feeds the
+  /// placement trace events (modelled vs. wall per batch).
+  std::map<std::string, double> predicted_;
   /// One stripe per ingest shard + the exec stripe the engine records
   /// into; snapshot() folds them all.
   StripedServerStats stats_;

@@ -123,6 +123,12 @@ class ShardedRequestQueue {
   std::size_t class_depth(std::size_t i) const;
   /// Per-shard depth (shard mutex; tests/introspection only).
   std::size_t shard_depth(std::size_t s) const { return shards_[s]->depth(); }
+  /// Per-shard high-water mark (lock-free read): the deepest shard `s` has
+  /// ever been right after an insert. Feeds StatsSnapshot::shard_max_depths
+  /// and the shard-imbalance ratio.
+  std::size_t shard_max_depth(std::size_t s) const {
+    return shard_hwm_[s]->load(std::memory_order_relaxed);
+  }
 
  private:
   /// Bumps the facade version and wakes cross-shard waiters. Called by
@@ -163,7 +169,12 @@ class ShardedRequestQueue {
   /// class — the only shards collect has to visit.
   std::vector<std::size_t> candidate_shards(const std::string& model) const;
 
+  /// Raises shard `s`'s high-water mark to `depth` (relaxed CAS loop).
+  void raise_shard_hwm(std::size_t s, std::size_t depth);
+
   std::vector<std::unique_ptr<RequestQueue>> shards_;
+  /// Per-shard insert-time depth maxima (see shard_max_depth).
+  std::vector<std::unique_ptr<std::atomic<std::size_t>>> shard_hwm_;
   const std::size_t capacity_;
 
   // Reservation counters: never exceed capacity_ / the class share.

@@ -34,24 +34,34 @@ namespace convbound {
 struct ClassSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;        ///< backpressure (queue full)
-  std::uint64_t quota_rejected = 0;  ///< weighted-fair admission
-  std::uint64_t expired = 0;         ///< effective deadline passed
+  std::uint64_t rejected = 0;           ///< backpressure (kRejected: queue full)
+  std::uint64_t quota_rejected = 0;     ///< weighted-fair admission (kQuotaExceeded)
+  std::uint64_t shutdown_rejected = 0;  ///< submit raced server stop (kShutdown)
+  std::uint64_t expired = 0;            ///< effective deadline passed (kDeadlineExceeded)
   LatencyHistogram latency;
   double latency_p50 = 0;
   double latency_p99 = 0;
   double latency_mean = 0;
   double latency_max = 0;
+  /// Per-stage decomposition of the completed requests' latency (same
+  /// stage boundaries as StatsSnapshot's; see there).
+  LatencyHistogram queue_wait;
+  LatencyHistogram batch_delay;
+  LatencyHistogram exec;
+  double queue_wait_p99 = 0;
+  double batch_delay_p99 = 0;
+  double exec_p99 = 0;
 };
 
 /// Point-in-time copy of the server's counters with derived quantities.
 struct StatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;        ///< backpressure (queue full)
-  std::uint64_t quota_rejected = 0;  ///< over-share class under overload
-  std::uint64_t expired = 0;         ///< deadline passed while queued
-  std::uint64_t failed = 0;          ///< execution errors
+  std::uint64_t rejected = 0;           ///< backpressure (queue full)
+  std::uint64_t quota_rejected = 0;     ///< over-share class under overload
+  std::uint64_t shutdown_rejected = 0;  ///< submit raced server stop
+  std::uint64_t expired = 0;            ///< deadline passed while queued
+  std::uint64_t failed = 0;             ///< execution errors
   std::uint64_t batches = 0;
 
   double wall_seconds = 0;         ///< since mark_start()
@@ -74,6 +84,20 @@ struct StatsSnapshot {
   double latency_max = 0;
   double latency_mean = 0;
 
+  /// Stage decomposition of the same completed requests, recorded from the
+  /// same timestamps the end-to-end latency uses, so the stages satisfy an
+  /// exact accounting identity per request:
+  ///   queue_wait (enqueue -> collect) + batch_delay (collect -> exec
+  ///   start) + exec (exec start -> completion) == end-to-end latency
+  /// and therefore sum(queue_wait) + sum(batch_delay) + sum(exec) ==
+  /// sum(latency) over any snapshot (up to float rounding; pinned by test).
+  LatencyHistogram queue_wait;
+  LatencyHistogram batch_delay;
+  LatencyHistogram exec;
+  double queue_wait_p50 = 0, queue_wait_p99 = 0, queue_wait_mean = 0;
+  double batch_delay_p50 = 0, batch_delay_p99 = 0, batch_delay_mean = 0;
+  double exec_p50 = 0, exec_p99 = 0, exec_mean = 0;
+
   /// Live micro-batch size -> batch count.
   std::vector<std::pair<int, std::uint64_t>> batch_histogram;
   double mean_batch_size = 0;
@@ -82,8 +106,20 @@ struct StatsSnapshot {
   /// has no tenant classes configured.
   std::map<std::string, ClassSnapshot> classes;
 
-  std::size_t queue_depth = 0;      ///< at snapshot time
+  /// Front-door depth at snapshot time. A fleet merge SUMS the parts'
+  /// depths (total requests queued across devices); only the high-water
+  /// mark below takes the max.
+  std::size_t queue_depth = 0;
   std::size_t max_queue_depth = 0;  ///< high-water mark
+
+  /// Per-ingest-shard depths (at snapshot time) and high-water marks,
+  /// filled by the server/cluster from the sharded queue; empty for
+  /// consumers that never set them. Merged element-wise (sum).
+  std::vector<std::size_t> shard_depths;
+  std::vector<std::size_t> shard_max_depths;
+  /// max/mean over shard_max_depths: 1.0 = perfectly even ingest, higher =
+  /// skew from the hash(model)+class shard rule. 0 when unset.
+  double shard_imbalance = 0;
 
   // Session-pool state (filled by the server).
   std::size_t plans_memoised = 0;
@@ -105,8 +141,20 @@ struct StatsSnapshot {
 ///     max/mean stay exact.
 StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts);
 
+/// max/mean of the per-shard values (the shard-imbalance ratio); 0 when
+/// the vector is empty or all-zero.
+double shard_imbalance_ratio(const std::vector<std::size_t>& shard_values);
+
 class ServerStats {
  public:
+  /// Per-request stage durations (seconds), computed by the executor from
+  /// the request's enqueue/collect/exec-start/done timestamps.
+  struct StageLatencies {
+    double queue_wait = 0;
+    double batch_delay = 0;
+    double exec = 0;
+  };
+
   void mark_start();
 
   /// The `cls` parameters name the request's resolved tenant class; ""
@@ -116,14 +164,19 @@ class ServerStats {
                         const std::string& cls = {});
   void record_rejected(const std::string& cls = {});
   void record_quota_rejected(const std::string& cls = {});
+  /// A submit that lost the race with server stop (ServeStatus::kShutdown).
+  void record_shutdown_rejected(const std::string& cls = {});
   void record_expired(std::size_t n, const std::string& cls = {});
   void record_failed(std::size_t n);
   /// One executed micro-batch: group size, modelled batch time, and the
   /// per-request wall latencies. `classes`, when non-empty, runs parallel
-  /// to `latencies` and attributes each completion to its tenant class.
+  /// to `latencies` and attributes each completion to its tenant class;
+  /// `stages`, when non-empty, runs parallel to `latencies` and feeds the
+  /// per-stage decomposition histograms.
   void record_batch(std::size_t group, double sim_seconds,
                     const std::vector<double>& latencies,
-                    const std::vector<std::string>& classes = {});
+                    const std::vector<std::string>& classes = {},
+                    const std::vector<StageLatencies>& stages = {});
 
   /// Derived values only; the session-pool and queue-depth fields are the
   /// server's to fill.
@@ -136,8 +189,12 @@ class ServerStats {
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
     std::uint64_t quota_rejected = 0;
+    std::uint64_t shutdown_rejected = 0;
     std::uint64_t expired = 0;
     LatencyHistogram latency;
+    LatencyHistogram queue_wait;
+    LatencyHistogram batch_delay;
+    LatencyHistogram exec;
   };
   ClassCounters& class_counters(const std::string& cls);
 
@@ -147,11 +204,15 @@ class ServerStats {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t quota_rejected_ = 0;
+  std::uint64_t shutdown_rejected_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t batches_ = 0;
   double sim_seconds_ = 0;
   LatencyHistogram latency_;  ///< every completion, O(1) per record
+  LatencyHistogram queue_wait_;
+  LatencyHistogram batch_delay_;
+  LatencyHistogram exec_;
   std::map<int, std::uint64_t> histogram_;
   std::map<std::string, ClassCounters> classes_;
   std::size_t max_queue_depth_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "convbound/obs/trace.hpp"
 #include "convbound/util/check.hpp"
 #include "convbound/util/thread_pool.hpp"
 
@@ -113,6 +114,8 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
   };
 
   try {
+    // Everything from here to completion — batch assembly, padding, the
+    // session run — is the request's *exec* stage; `now` is its start.
     const ServeTimePoint now = ServeClock::now();
     live.reserve(group.size());
     for (auto& p : group) {
@@ -120,6 +123,8 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
         InferResponse r;
         r.status = ServeStatus::kDeadlineExceeded;
         r.latency_seconds = seconds_between(p.enqueued, now);
+        obs::instant(TraceStage::kExpire, now, p.trace_id, p.batch_id,
+                     opts_.device_ordinal, r.latency_seconds);
         // Record before completing: a client that sees its future resolve
         // must also see the stats reflect it.
         stats_->record_expired(1, p.tenant_class);
@@ -168,9 +173,12 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
     std::vector<InferResponse> responses;
     std::vector<double> latencies;
     std::vector<std::string> classes;
+    std::vector<ServerStats::StageLatencies> stages;
     responses.reserve(live.size());
     latencies.reserve(live.size());
     classes.reserve(live.size());
+    stages.reserve(live.size());
+    const bool tracing = obs::on();
     for (std::size_t i = 0; i < live.size(); ++i) {
       InferResponse r;
       r.status = ServeStatus::kOk;
@@ -183,11 +191,37 @@ void ServeEngine::execute_batch(std::vector<PendingRequest> group,
       r.batch_sim_seconds = res.stats.sim_time;
       latencies.push_back(r.latency_seconds);
       classes.push_back(live[i].tenant_class);
+      // Stage decomposition from the same timestamps the end-to-end latency
+      // uses, so queue_wait + batch_delay + exec == latency exactly. A
+      // request that never went through the scheduler (unstamped
+      // `collected`) charges its whole pre-exec wait to queue_wait.
+      ServeTimePoint collected = live[i].collected;
+      if (collected == ServeTimePoint{} || collected < live[i].enqueued ||
+          collected > now)
+        collected = now;
+      ServerStats::StageLatencies st;
+      st.queue_wait = seconds_between(live[i].enqueued, collected);
+      st.batch_delay = seconds_between(collected, now);
+      st.exec = seconds_between(now, done);
+      stages.push_back(st);
+      if (tracing) {
+        obs::span(TraceStage::kQueueWait, live[i].enqueued, collected,
+                  live[i].trace_id, live[i].batch_id, opts_.device_ordinal,
+                  static_cast<double>(live[i].shard));
+        obs::instant(TraceStage::kComplete, done, live[i].trace_id,
+                     live[i].batch_id, opts_.device_ordinal,
+                     r.latency_seconds);
+      }
       responses.push_back(std::move(r));
     }
+    // The execute span carries the modelled batch time as its value, so a
+    // trace shows modelled vs. wall per batch (dur vs. args.value).
+    obs::span(TraceStage::kExecute, now, done, 0, live.front().batch_id,
+              opts_.device_ordinal, res.stats.sim_time);
     // Record before completing any promise: a client that sees its future
     // resolve must also see the stats reflect the whole batch.
-    stats_->record_batch(live.size(), res.stats.sim_time, latencies, classes);
+    stats_->record_batch(live.size(), res.stats.sim_time, latencies, classes,
+                         stages);
     for (std::size_t i = 0; i < live.size(); ++i)
       live[i].promise.set_value(std::move(responses[i]));
   } catch (const std::exception& e) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "convbound/obs/trace.hpp"
+
 namespace convbound {
 
 void RequestQueue::set_tenancy(const TenantTable* table, double congestion) {
@@ -60,6 +62,8 @@ void RequestQueue::expire_locked(ServeTimePoint now) {
     r.status = ServeStatus::kDeadlineExceeded;
     r.latency_seconds =
         std::chrono::duration<double>(now - p.enqueued).count();
+    obs::instant(TraceStage::kExpire, now, p.trace_id, p.batch_id, -1,
+                 r.latency_seconds);
     p.promise.set_value(std::move(r));
     if (per_class.size() <= p.class_index) per_class.resize(p.class_index + 1, 0);
     ++per_class[p.class_index];
@@ -105,11 +109,12 @@ RequestQueue::Admit RequestQueue::push(PendingRequest&& p,
   return Admit::kOk;
 }
 
-bool RequestQueue::readmit(PendingRequest&& p) {
+bool RequestQueue::readmit(PendingRequest&& p, std::size_t* depth_after) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return false;
     insert_locked(std::move(p));
+    if (depth_after) *depth_after = items_.size();
   }
   notify_all();
   return true;

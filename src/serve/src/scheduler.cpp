@@ -1,5 +1,6 @@
 #include "convbound/serve/scheduler.hpp"
 
+#include "convbound/obs/trace.hpp"
 #include "convbound/util/check.hpp"
 
 namespace convbound {
@@ -22,9 +23,29 @@ void BatchScheduler::loop() {
     // and any backlog built up meanwhile fattens the group. The placement's
     // bucket is the reserved executor's — per-device buckets differ.
     const Placement placement = reserve_(model);
+    const bool tracing = obs::on();
+    const ServeTimePoint form_start =
+        tracing ? ServeClock::now() : ServeTimePoint{};
     std::vector<PendingRequest> group = queue_.collect(
         model, static_cast<std::size_t>(placement.bucket),
         enqueued + max_delay_);
+    // One clock read per *batch* stamps the queue_wait / batch_delay stage
+    // boundary on every member (negligible next to batch execution).
+    const ServeTimePoint collected = ServeClock::now();
+    if (!group.empty()) {
+      const std::uint64_t batch_id =
+          tracing ? ObsRegistry::next_batch_id() : 0;
+      for (PendingRequest& p : group) {
+        p.collected = collected;
+        p.batch_id = batch_id;
+      }
+      if (tracing) {
+        obs::span(TraceStage::kBatchForm, form_start, collected, 0, batch_id,
+                  placement.device, static_cast<double>(group.size()));
+        obs::instant(TraceStage::kPlacement, collected, 0, batch_id,
+                     placement.device, placement.predicted_batch_seconds);
+      }
+    }
     // Dispatch even a (theoretically) empty group: the dispatcher owns the
     // reservation taken above and must return it.
     dispatch_(std::move(group), model, placement);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "convbound/obs/trace.hpp"
 #include "convbound/util/check.hpp"
 
 namespace convbound {
@@ -32,6 +33,10 @@ void InferenceServer::start() {
   CB_CHECK_MSG(!stopped_, "server cannot restart after stop()");
   CB_CHECK_MSG(!started_, "server already started");
   engine_.warm();
+  // Memo-hit replay of the warm plans: one lookup table for the placement
+  // trace events instead of a predicted_batch_seconds() call per group.
+  for (const auto& [name, model] : models_)
+    predicted_[name] = engine_.predicted_batch_seconds(name);
 
   workers_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(opts_.workers));
@@ -40,7 +45,7 @@ void InferenceServer::start() {
       queue_, opts_.max_delay,
       [this](const std::string& m) {
         wait_for_slot();
-        return Placement{engine_.bucket_of(m), 0};
+        return Placement{engine_.bucket_of(m), 0, predicted_.at(m)};
       },
       [this](std::vector<PendingRequest> group, const std::string& m,
              const Placement&) {
@@ -88,17 +93,28 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
                                                  ServeTimePoint::max());
   const std::string cls = p.tenant_class;
   std::future<InferResponse> fut = p.promise.get_future();
+  // Correlation id only when tracing: the fetch_add on a shared counter is
+  // cheap but not free, and the submit hot path is gated at zero overhead
+  // with tracing off (bench/trace_overhead.cpp).
+  const bool tracing = obs::on();
+  if (tracing) p.trace_id = ObsRegistry::next_request_id();
+  const std::uint64_t trace_id = p.trace_id;
+  const ServeTimePoint enqueued = p.enqueued;
 
-  if (stopped_) {
-    InferResponse r;
-    r.status = ServeStatus::kShutdown;
-    p.promise.set_value(std::move(r));
-    return fut;
-  }
   // Stats recording goes to this request's shard stripe, so producers
   // hashed to different shards never contend on a stats lock either.
   ServerStats& stripe =
       stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
+
+  if (stopped_) {
+    InferResponse r;
+    r.status = ServeStatus::kShutdown;
+    stripe.record_shutdown_rejected(cls);
+    obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                 static_cast<double>(ServeStatus::kShutdown));
+    p.promise.set_value(std::move(r));
+    return fut;
+  }
   // `p` is untouched on a non-kOk push; the queue's own closed flag (not a
   // re-read of stopped_) decides shutdown races, so a submit that loses to
   // a concurrent stop() resolves kShutdown instead of hanging.
@@ -108,11 +124,15 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
       // depth_after came out of the push itself — the old code re-locked
       // the queue with queue_.depth() right after push released it.
       stripe.record_submitted(depth_after, cls);
+      obs::instant(TraceStage::kAdmit, enqueued, trace_id, 0, -1,
+                   static_cast<double>(depth_after));
       return fut;
     case RequestQueue::Admit::kFull: {
       InferResponse r;
       r.status = ServeStatus::kRejected;
       stripe.record_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kRejected));
       p.promise.set_value(std::move(r));
       return fut;
     }
@@ -120,12 +140,17 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
       InferResponse r;
       r.status = ServeStatus::kQuotaExceeded;
       stripe.record_quota_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kQuotaExceeded));
       p.promise.set_value(std::move(r));
       return fut;
     }
     case RequestQueue::Admit::kClosed: {
       InferResponse r;
       r.status = ServeStatus::kShutdown;
+      stripe.record_shutdown_rejected(cls);
+      obs::instant(TraceStage::kShed, enqueued, trace_id, 0, -1,
+                   static_cast<double>(ServeStatus::kShutdown));
       p.promise.set_value(std::move(r));
       return fut;
     }
@@ -150,6 +175,13 @@ void InferenceServer::release_slot() {
 StatsSnapshot InferenceServer::stats() const {
   StatsSnapshot s = stats_.snapshot();
   s.queue_depth = queue_.depth();
+  s.shard_depths.resize(queue_.num_shards());
+  s.shard_max_depths.resize(queue_.num_shards());
+  for (std::size_t i = 0; i < queue_.num_shards(); ++i) {
+    s.shard_depths[i] = queue_.shard_depth(i);
+    s.shard_max_depths[i] = queue_.shard_max_depth(i);
+  }
+  s.shard_imbalance = shard_imbalance_ratio(s.shard_max_depths);
   engine_.fill_stats(s);
   return s;
 }

@@ -22,6 +22,7 @@ ShardedRequestQueue::ShardedRequestQueue(std::size_t capacity,
       if (on_expired_) on_expired_(cls, cnt);
     });
     shards_.push_back(std::move(q));
+    shard_hwm_.push_back(std::make_unique<std::atomic<std::size_t>>(0));
   }
   class_depth_.push_back(std::make_unique<std::atomic<std::size_t>>(0));
 }
@@ -83,6 +84,14 @@ void ShardedRequestQueue::unreserve(std::size_t class_index,
   notify();
 }
 
+void ShardedRequestQueue::raise_shard_hwm(std::size_t s, std::size_t depth) {
+  std::atomic<std::size_t>& hwm = *shard_hwm_[s];
+  std::size_t cur = hwm.load(std::memory_order_relaxed);
+  while (cur < depth &&
+         !hwm.compare_exchange_weak(cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
 void ShardedRequestQueue::note_removed(std::size_t cls, std::size_t n) {
   if (n == 0) return;
   cls_counter(cls).fetch_sub(n, std::memory_order_relaxed);
@@ -133,13 +142,16 @@ ShardedRequestQueue::Admit ShardedRequestQueue::push(PendingRequest&& p,
     break;
   }
   const std::size_t s = shard_of(p.request.model, cls);
+  p.shard = static_cast<std::uint32_t>(s);
   // readmit bypasses the shard's own capacity/quota (the facade already
   // admitted this request) but respects close: the shard's closed bit is
   // the submit-vs-stop authority, exactly as in the single-queue design.
-  if (!shards_[s]->readmit(std::move(p))) {
+  std::size_t shard_depth_after = 0;
+  if (!shards_[s]->readmit(std::move(p), &shard_depth_after)) {
     unreserve(cls, /*reserved_quota=*/true);
     return Admit::kClosed;
   }
+  raise_shard_hwm(s, shard_depth_after);
   if (depth_after) *depth_after = reserved_depth;
   return Admit::kOk;
 }
@@ -149,10 +161,13 @@ bool ShardedRequestQueue::readmit(PendingRequest&& p) {
   depth_.fetch_add(1, std::memory_order_relaxed);
   cls_counter(cls).fetch_add(1, std::memory_order_relaxed);
   const std::size_t s = shard_of(p.request.model, cls);
-  if (!shards_[s]->readmit(std::move(p))) {
+  p.shard = static_cast<std::uint32_t>(s);
+  std::size_t shard_depth_after = 0;
+  if (!shards_[s]->readmit(std::move(p), &shard_depth_after)) {
     unreserve(cls, /*reserved_quota=*/true);
     return false;
   }
+  raise_shard_hwm(s, shard_depth_after);
   return true;
 }
 

@@ -14,6 +14,15 @@ void fill_latency_fields(StatsSnapshot& s) {
   s.latency_p99 = s.latency.quantile(0.99);
   s.latency_max = s.latency.max_value();
   s.latency_mean = s.latency.mean();
+  s.queue_wait_p50 = s.queue_wait.quantile(0.50);
+  s.queue_wait_p99 = s.queue_wait.quantile(0.99);
+  s.queue_wait_mean = s.queue_wait.mean();
+  s.batch_delay_p50 = s.batch_delay.quantile(0.50);
+  s.batch_delay_p99 = s.batch_delay.quantile(0.99);
+  s.batch_delay_mean = s.batch_delay.mean();
+  s.exec_p50 = s.exec.quantile(0.50);
+  s.exec_p99 = s.exec.quantile(0.99);
+  s.exec_mean = s.exec.mean();
 }
 
 void fill_class_latency_fields(ClassSnapshot& c) {
@@ -21,9 +30,26 @@ void fill_class_latency_fields(ClassSnapshot& c) {
   c.latency_p99 = c.latency.quantile(0.99);
   c.latency_mean = c.latency.mean();
   c.latency_max = c.latency.max_value();
+  c.queue_wait_p99 = c.queue_wait.quantile(0.99);
+  c.batch_delay_p99 = c.batch_delay.quantile(0.99);
+  c.exec_p99 = c.exec.quantile(0.99);
 }
 
 }  // namespace
+
+double shard_imbalance_ratio(const std::vector<std::size_t>& shard_values) {
+  if (shard_values.empty()) return 0;
+  std::size_t max = 0;
+  std::size_t total = 0;
+  for (std::size_t v : shard_values) {
+    max = std::max(max, v);
+    total += v;
+  }
+  if (total == 0) return 0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shard_values.size());
+  return static_cast<double>(max) / mean;
+}
 
 StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
   StatsSnapshot s;
@@ -34,13 +60,30 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
     s.completed += p.completed;
     s.rejected += p.rejected;
     s.quota_rejected += p.quota_rejected;
+    s.shutdown_rejected += p.shutdown_rejected;
     s.expired += p.expired;
     s.failed += p.failed;
     s.batches += p.batches;
     s.sim_seconds += p.sim_seconds;
     s.wall_seconds = std::max(s.wall_seconds, p.wall_seconds);
-    s.queue_depth = std::max(s.queue_depth, p.queue_depth);
+    // Depth at snapshot time SUMS: the fleet's queued population is the
+    // total across device front doors. Only the high-water mark is a max —
+    // "deepest any single door ever got" (summing per-part marks taken at
+    // different instants would overstate it).
+    s.queue_depth += p.queue_depth;
     s.max_queue_depth = std::max(s.max_queue_depth, p.max_queue_depth);
+    if (!p.shard_depths.empty()) {
+      if (s.shard_depths.size() < p.shard_depths.size())
+        s.shard_depths.resize(p.shard_depths.size(), 0);
+      for (std::size_t i = 0; i < p.shard_depths.size(); ++i)
+        s.shard_depths[i] += p.shard_depths[i];
+    }
+    if (!p.shard_max_depths.empty()) {
+      if (s.shard_max_depths.size() < p.shard_max_depths.size())
+        s.shard_max_depths.resize(p.shard_max_depths.size(), 0);
+      for (std::size_t i = 0; i < p.shard_max_depths.size(); ++i)
+        s.shard_max_depths[i] += p.shard_max_depths[i];
+    }
     s.plans_memoised += p.plans_memoised;
     s.plan_misses_after_warm += p.plan_misses_after_warm;
     s.workspace_buffers += p.workspace_buffers;
@@ -52,6 +95,9 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
     // per-device percentiles this merge used to report, which understated
     // a heterogeneous fleet's tail whenever the slow device held it.
     s.latency.merge(p.latency);
+    s.queue_wait.merge(p.queue_wait);
+    s.batch_delay.merge(p.batch_delay);
+    s.exec.merge(p.exec);
     for (const auto& [size, count] : p.batch_histogram)
       histogram[size] += count;
     // Per-class slices merge the same way: counters sum, histograms add
@@ -62,10 +108,15 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
       c.completed += part.completed;
       c.rejected += part.rejected;
       c.quota_rejected += part.quota_rejected;
+      c.shutdown_rejected += part.shutdown_rejected;
       c.expired += part.expired;
       c.latency.merge(part.latency);
+      c.queue_wait.merge(part.queue_wait);
+      c.batch_delay.merge(part.batch_delay);
+      c.exec.merge(part.exec);
     }
   }
+  s.shard_imbalance = shard_imbalance_ratio(s.shard_max_depths);
   fill_latency_fields(s);
   for (auto& [name, c] : s.classes) fill_class_latency_fields(c);
   if (s.wall_seconds > 0)
@@ -123,6 +174,17 @@ void ServerStats::record_quota_rejected(const std::string& cls) {
   }
 }
 
+void ServerStats::record_shutdown_rejected(const std::string& cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++shutdown_rejected_;
+  if (!cls.empty()) {
+    ClassCounters& c = class_counters(cls);
+    ++c.submitted;
+    ++c.shutdown_rejected;
+  }
+}
+
 void ServerStats::record_expired(std::size_t n, const std::string& cls) {
   std::lock_guard<std::mutex> lock(mu_);
   expired_ += n;
@@ -136,7 +198,8 @@ void ServerStats::record_failed(std::size_t n) {
 
 void ServerStats::record_batch(std::size_t group, double sim_seconds,
                                const std::vector<double>& latencies,
-                               const std::vector<std::string>& classes) {
+                               const std::vector<std::string>& classes,
+                               const std::vector<StageLatencies>& stages) {
   std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
   sim_seconds_ += sim_seconds;
@@ -144,10 +207,21 @@ void ServerStats::record_batch(std::size_t group, double sim_seconds,
   for (std::size_t i = 0; i < latencies.size(); ++i) {
     ++completed_;
     latency_.record(latencies[i]);
+    const bool staged = i < stages.size();
+    if (staged) {
+      queue_wait_.record(stages[i].queue_wait);
+      batch_delay_.record(stages[i].batch_delay);
+      exec_.record(stages[i].exec);
+    }
     if (i < classes.size() && !classes[i].empty()) {
       ClassCounters& c = class_counters(classes[i]);
       ++c.completed;
       c.latency.record(latencies[i]);
+      if (staged) {
+        c.queue_wait.record(stages[i].queue_wait);
+        c.batch_delay.record(stages[i].batch_delay);
+        c.exec.record(stages[i].exec);
+      }
     }
   }
 }
@@ -159,6 +233,7 @@ StatsSnapshot ServerStats::snapshot() const {
   s.completed = completed_;
   s.rejected = rejected_;
   s.quota_rejected = quota_rejected_;
+  s.shutdown_rejected = shutdown_rejected_;
   s.expired = expired_;
   s.failed = failed_;
   s.batches = batches_;
@@ -174,6 +249,9 @@ StatsSnapshot ServerStats::snapshot() const {
     s.modelled_rps = static_cast<double>(s.completed) / s.sim_seconds;
 
   s.latency = latency_;
+  s.queue_wait = queue_wait_;
+  s.batch_delay = batch_delay_;
+  s.exec = exec_;
   fill_latency_fields(s);
 
   for (const auto& [name, counters] : classes_) {
@@ -182,8 +260,12 @@ StatsSnapshot ServerStats::snapshot() const {
     c.completed = counters.completed;
     c.rejected = counters.rejected;
     c.quota_rejected = counters.quota_rejected;
+    c.shutdown_rejected = counters.shutdown_rejected;
     c.expired = counters.expired;
     c.latency = counters.latency;
+    c.queue_wait = counters.queue_wait;
+    c.batch_delay = counters.batch_delay;
+    c.exec = counters.exec;
     fill_class_latency_fields(c);
     s.classes.emplace(name, std::move(c));
   }

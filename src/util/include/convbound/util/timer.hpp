@@ -7,6 +7,11 @@ namespace convbound {
 
 class WallTimer {
  public:
+  /// Monotonic clock shared by every wall-time measurement in the repo
+  /// (serving timestamps and trace events use the same clock, so their
+  /// time points are directly comparable).
+  using Clock = std::chrono::steady_clock;
+
   WallTimer() : start_(Clock::now()) {}
   void reset() { start_ = Clock::now(); }
   /// Seconds elapsed since construction/reset.
@@ -16,7 +21,6 @@ class WallTimer {
   double milliseconds() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
 

@@ -340,5 +340,93 @@ TEST(StripedServerStats, SnapshotFoldsSkewedStripesNotStripeZero) {
   EXPECT_LT(stripe0.submitted * 50, s.submitted);
 }
 
+// ------------------------------------- stage decomposition + shed reasons ----
+
+TEST(ServerStats, RecordsStagesAndShutdownRejections) {
+  ServerStats stats;
+  stats.mark_start();
+  stats.record_shutdown_rejected("paid");
+  stats.record_shutdown_rejected();
+  std::vector<ServerStats::StageLatencies> stages(2);
+  stages[0] = {1e-3, 2e-3, 3e-3};   // sums to the 6ms latency below
+  stages[1] = {4e-3, 5e-3, 11e-3};  // sums to 20ms
+  stats.record_batch(2, 1e-4, {6e-3, 20e-3}, {"paid", "paid"}, stages);
+
+  const StatsSnapshot s = stats.snapshot();
+  // Shutdown rejections count as submissions (a client reached the door),
+  // and land in their own shed counter, split from queue-full rejections.
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.shutdown_rejected, 2u);
+  EXPECT_EQ(s.rejected, 0u);
+  ASSERT_TRUE(s.classes.count("paid"));
+  EXPECT_EQ(s.classes.at("paid").shutdown_rejected, 1u);
+
+  // Stage histograms hold one entry per completion and their sums obey the
+  // accounting identity against the end-to-end latency sum.
+  EXPECT_EQ(s.queue_wait.count(), 2u);
+  EXPECT_EQ(s.batch_delay.count(), 2u);
+  EXPECT_EQ(s.exec.count(), 2u);
+  EXPECT_NEAR(s.queue_wait.sum() + s.batch_delay.sum() + s.exec.sum(),
+              s.latency.sum(), 1e-12);
+  EXPECT_GT(s.queue_wait_p99, 0.0);
+  EXPECT_GT(s.exec_mean, 0.0);
+  EXPECT_EQ(s.classes.at("paid").queue_wait.count(), 2u);
+  EXPECT_GT(s.classes.at("paid").exec_p99, 0.0);
+}
+
+TEST(ShardImbalanceRatio, MaxOverMean) {
+  EXPECT_DOUBLE_EQ(shard_imbalance_ratio({}), 0.0);
+  EXPECT_DOUBLE_EQ(shard_imbalance_ratio({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(shard_imbalance_ratio({4, 4, 4, 4}), 1.0);
+  // max 8 over mean 4 = 2.
+  EXPECT_DOUBLE_EQ(shard_imbalance_ratio({8, 4, 0, 4}), 2.0);
+}
+
+// Pins the fleet-merge fix: snapshot-time queue_depth SUMS across parts
+// (total queued population on the fleet), while max_queue_depth keeps the
+// max; shard vectors add element-wise (resizing to the widest part) and
+// the imbalance ratio is recomputed from the merged high-water marks.
+TEST(MergeSnapshots, QueueDepthSumsShardVectorsAddStagesMerge) {
+  ServerStats a_stats, b_stats;
+  std::vector<ServerStats::StageLatencies> st_a(1), st_b(1);
+  st_a[0] = {1e-3, 1e-3, 2e-3};
+  st_b[0] = {10e-3, 5e-3, 15e-3};
+  a_stats.record_batch(1, 1e-4, {4e-3}, {}, st_a);
+  b_stats.record_batch(1, 1e-4, {30e-3}, {}, st_b);
+  a_stats.record_shutdown_rejected();
+
+  StatsSnapshot a = a_stats.snapshot();
+  StatsSnapshot b = b_stats.snapshot();
+  a.queue_depth = 10;
+  a.max_queue_depth = 12;
+  a.shard_depths = {4, 6};
+  a.shard_max_depths = {8, 4};
+  b.queue_depth = 3;
+  b.max_queue_depth = 9;
+  b.shard_depths = {1, 1, 1};  // wider part: a 2-shard and a 3-shard door
+  b.shard_max_depths = {0, 4, 4};
+
+  const StatsSnapshot fleet = merge_snapshots({a, b});
+  EXPECT_EQ(fleet.queue_depth, 13u);       // sum — the fix
+  EXPECT_EQ(fleet.max_queue_depth, 12u);   // still the max
+  EXPECT_EQ(fleet.shutdown_rejected, 1u);
+  ASSERT_EQ(fleet.shard_depths.size(), 3u);
+  EXPECT_EQ(fleet.shard_depths[0], 5u);
+  EXPECT_EQ(fleet.shard_depths[2], 1u);
+  ASSERT_EQ(fleet.shard_max_depths.size(), 3u);
+  EXPECT_EQ(fleet.shard_max_depths[0], 8u);
+  EXPECT_EQ(fleet.shard_max_depths[1], 8u);
+  // Recomputed from the merged marks: max 8 over mean (8+8+4)/3.
+  EXPECT_NEAR(fleet.shard_imbalance, 8.0 / (20.0 / 3.0), 1e-12);
+
+  // Stage histograms merged bucket-wise and re-derived.
+  EXPECT_EQ(fleet.queue_wait.count(), 2u);
+  EXPECT_NEAR(fleet.queue_wait.sum() + fleet.batch_delay.sum() +
+                  fleet.exec.sum(),
+              fleet.latency.sum(), 1e-12);
+  EXPECT_GT(fleet.exec_p99, 0.0);
+  EXPECT_GE(fleet.queue_wait_p99, fleet.queue_wait_p50);
+}
+
 }  // namespace
 }  // namespace convbound

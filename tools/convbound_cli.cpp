@@ -23,7 +23,8 @@
 //          [--layers N] [--chan-cap N] [--spatial-cap N] [--serve-workers N]
 //          [--replicas N] [--queue N] [--shards N] [--delay-us N]
 //          [--bucket N] [--max-bucket N] [--mode measured|tuned]
-//          [--budget N] [--machine NAME]
+//          [--budget N] [--machine NAME] [--trace-out FILE]
+//          [--metrics-out FILE]
 //       Closed-loop self-benchmark of the micro-batching inference server:
 //       N client threads each send `requests` back-to-back requests across
 //       the (scaled-down) models; prints the bound-guided bucket tables,
@@ -39,6 +40,7 @@
 //           [--bucket N] [--max-bucket N] [--mode measured|tuned] [--budget N]
 //           [--classes CSV] [--congestion PCT]
 //           [--kill N] [--kill-after-ms N] [--revive warm|cold]
+//           [--trace-out FILE] [--metrics-out FILE]
 //       Closed-loop self-benchmark of the heterogeneous multi-accelerator
 //       cluster: --devices lists one MachineSpec per simulated device
 //       (e.g. "v100,hbm,dense"); the bound-aware Router places each request
@@ -54,6 +56,16 @@
 //       the load; --revive brings it back warm (surviving engine) or cold
 //       (rebuilt + re-warmed hot-join) halfway through the remaining load.
 //
+// Observability (serve and cluster; see docs/observability.md):
+//   --trace-out FILE    enables tracing and writes a Chrome trace-event JSON
+//                       (load in Perfetto / chrome://tracing) of the run:
+//                       admission, queue residency, batch formation,
+//                       placement, execution, completion — correlated by
+//                       request and batch id.
+//   --metrics-out FILE  writes the final stats snapshot as Prometheus-style
+//                       text exposition (counters, gauges, and the
+//                       per-stage latency histograms).
+//
 // Machines: 1080ti, titanx, v100 (default), gfx906, hbm, dense, test.
 // Models: squeezenet, vgg-19, resnet-18, resnet-34, inception-v3, mobilenet.
 // Algorithms: tiled (default), naive, im2col, cudnn, winograd, phased, fft.
@@ -61,12 +73,14 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "convbound/convbound.hpp"
+#include "convbound/serve/obs_export.hpp"
 #include "convbound/tune/cache.hpp"
 #include "convbound/util/timer.hpp"
 
@@ -353,6 +367,34 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+/// --trace-out turns tracing on; must run before the load starts (events
+/// are only recorded while enabled).
+void maybe_enable_tracing(const Args& a) {
+  if (!a.gets("trace-out", "").empty()) ObsRegistry::set_enabled(true);
+}
+
+/// Writes the Chrome trace (--trace-out) and/or the Prometheus text
+/// exposition of `s` (--metrics-out) after the load completes.
+void dump_observability(const Args& a, const StatsSnapshot& s,
+                        const std::string& job) {
+  const std::string trace_path = a.gets("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    CB_CHECK_MSG(out.good(), "cannot open --trace-out " << trace_path);
+    ObsRegistry::global().dump_chrome_trace(out);
+    std::printf("trace written to %s (load in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  const std::string metrics_path = a.gets("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    CB_CHECK_MSG(out.good(), "cannot open --metrics-out " << metrics_path);
+    publish_snapshot(ObsRegistry::global(), "job=\"" + job + "\"", s);
+    ObsRegistry::global().dump_metrics_text(out);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+}
+
 int cmd_serve(const Args& a) {
   ServedModelOptions scale;
   scale.max_layers = static_cast<std::size_t>(a.geti("layers", 3));
@@ -380,6 +422,7 @@ int cmd_serve(const Args& a) {
   opts.plan_mode = mode == "tuned" ? PlanMode::kTuned : PlanMode::kMeasured;
   opts.tune_budget = static_cast<int>(a.geti("budget", 16));
 
+  maybe_enable_tracing(a);
   InferenceServer server(models, opts);
   WallTimer warm_timer;
   server.start();
@@ -452,9 +495,24 @@ int cmd_serve(const Args& a) {
              Table::fmt(s.latency_p50 * 1e3, 2) + " / " +
                  Table::fmt(s.latency_p95 * 1e3, 2) + " / " +
                  Table::fmt(s.latency_p99 * 1e3, 2)});
-  t.add_row({"rejected / expired",
-             std::to_string(s.rejected) + " / " + std::to_string(s.expired)});
+  // Stage decomposition of the same completed requests: the three stages
+  // sum to the end-to-end latency per request.
+  t.add_row({"stage p99: queue / batch / exec (ms)",
+             Table::fmt(s.queue_wait_p99 * 1e3, 2) + " / " +
+                 Table::fmt(s.batch_delay_p99 * 1e3, 2) + " / " +
+                 Table::fmt(s.exec_p99 * 1e3, 2)});
+  t.add_row({"shed: full / quota / shutdown / expired",
+             std::to_string(s.rejected) + " / " +
+                 std::to_string(s.quota_rejected) + " / " +
+                 std::to_string(s.shutdown_rejected) + " / " +
+                 std::to_string(s.expired)});
   t.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
+  std::string shard_hwm;
+  for (std::size_t i = 0; i < s.shard_max_depths.size(); ++i)
+    shard_hwm += (i ? " " : "") + std::to_string(s.shard_max_depths[i]);
+  t.add_row({"shard depth high-water marks", shard_hwm});
+  t.add_row({"shard imbalance (max/mean)",
+             Table::fmt(s.shard_imbalance, 2)});
   t.add_row({"plan-cache misses after warm",
              std::to_string(s.plan_misses_after_warm)});
   t.add_row({"workspace",
@@ -467,6 +525,7 @@ int cmd_serve(const Args& a) {
   for (const auto& [size, count] : s.batch_histogram)
     hist += " " + std::to_string(size) + "x" + std::to_string(count);
   std::printf("%s\n", hist.c_str());
+  dump_observability(a, s, "serve");
   if (failures.load() > 0)
     std::fprintf(stderr, "%d requests failed\n", failures.load());
   return failures.load() == 0 && s.plan_misses_after_warm == 0 ? 0 : 1;
@@ -530,6 +589,7 @@ int cmd_cluster(const Args& a) {
                "--revive must be warm|cold");
   CB_CHECK_MSG(revive.empty() || kill >= 0, "--revive needs --kill");
 
+  maybe_enable_tracing(a);
   ClusterServer cluster(models, opts);
   WallTimer warm_timer;
   cluster.start();
@@ -627,12 +687,14 @@ int cmd_cluster(const Args& a) {
 
   if (tenanted && !s.fleet.classes.empty()) {
     Table classes({"class", "submitted", "completed", "quota-rej", "rejected",
-                   "expired", "p50 / p99 ms"});
+                   "shutdown", "expired", "p50 / p99 ms"});
     for (const auto& [name, c] : s.fleet.classes)
       classes.add_row({name, std::to_string(c.submitted),
                        std::to_string(c.completed),
                        std::to_string(c.quota_rejected),
-                       std::to_string(c.rejected), std::to_string(c.expired),
+                       std::to_string(c.rejected),
+                       std::to_string(c.shutdown_rejected),
+                       std::to_string(c.expired),
                        Table::fmt(c.latency_p50 * 1e3, 2) + " / " +
                            Table::fmt(c.latency_p99 * 1e3, 2)});
     std::printf("%s\n", classes.to_string().c_str());
@@ -652,11 +714,18 @@ int cmd_cluster(const Args& a) {
              Table::fmt(s.fleet.latency_p50 * 1e3, 2) + " / " +
                  Table::fmt(s.fleet.latency_p95 * 1e3, 2) + " / " +
                  Table::fmt(s.fleet.latency_p99 * 1e3, 2)});
-  t.add_row({"rejected / quota-rejected / expired",
+  t.add_row({"stage p99: queue / batch / exec (ms)",
+             Table::fmt(s.fleet.queue_wait_p99 * 1e3, 2) + " / " +
+                 Table::fmt(s.fleet.batch_delay_p99 * 1e3, 2) + " / " +
+                 Table::fmt(s.fleet.exec_p99 * 1e3, 2)});
+  t.add_row({"shed: full / quota / shutdown / expired",
              std::to_string(s.fleet.rejected) + " / " +
                  std::to_string(s.fleet.quota_rejected) + " / " +
+                 std::to_string(s.fleet.shutdown_rejected) + " / " +
                  std::to_string(s.fleet.expired)});
   t.add_row({"max queue depth", std::to_string(s.fleet.max_queue_depth)});
+  t.add_row({"shard imbalance (max/mean)",
+             Table::fmt(s.fleet.shard_imbalance, 2)});
   if (kill >= 0)
     t.add_row({"chaos: failures / revives / requeued",
                std::to_string(s.device_failures) + " / " +
@@ -666,6 +735,7 @@ int cmd_cluster(const Args& a) {
   t.add_row({"plan-cache misses after warm (fleet)",
              std::to_string(plan_misses)});
   std::printf("%s", t.to_string().c_str());
+  dump_observability(a, s.fleet, "cluster");
 
   if (shed.load() > 0)
     std::printf("%d requests shed (quota / backpressure / budget)\n",
