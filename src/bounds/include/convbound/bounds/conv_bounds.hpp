@@ -41,6 +41,14 @@ double direct_dataflow_reads(const ConvShape& s, std::int64_t x,
 /// S (each block uses S/N_p); picks the optimal tile internally.
 double direct_dataflow_io(const ConvShape& s, double S, int np);
 
+/// Minimum of Equation (20) over the tile box [1,x_max]x[1,y_max]x[1,z_max].
+/// Rewriting (20) as reads = B*HWC_out*KKC_in*(1/(x*y) + 1/(R*z)) shows it
+/// is strictly decreasing in each of x, y and z, so the box minimum sits at
+/// the upper corner — an O(1) range query. Used by the branch-and-bound
+/// tuner as an admissible per-subtree I/O floor.
+double direct_dataflow_reads_min(const ConvShape& s, std::int64_t x_max,
+                                 std::int64_t y_max, std::int64_t z_max);
+
 // -------------------------------------------------------------- winograd --
 
 /// |V_inter ∪ V_out| of the Winograd DAG (Lemma 4.14's exact count, not just
@@ -69,6 +77,13 @@ double winograd_dataflow_reads(const ConvShape& s, std::int64_t e,
 /// 2*(e+r-1)^2/e^2 * xyz ~= S/N_p).
 double winograd_dataflow_io(const ConvShape& s, std::int64_t e, double S,
                             int np);
+
+/// Minimum of Equation (22) over the tile box [1,x_max]x[1,y_max]x[1,z_max]:
+/// reads = B*Cin*HWC_out*(1/z + r^2/(x*y)), strictly decreasing in each
+/// coordinate, so again evaluated at the upper corner.
+double winograd_dataflow_reads_min(const ConvShape& s, std::int64_t e,
+                                   std::int64_t x_max, std::int64_t y_max,
+                                   std::int64_t z_max);
 
 // ---------------------------------------------------- optimality condition --
 

@@ -84,6 +84,14 @@ double direct_dataflow_io(const ConvShape& s, double S, int np) {
   return static_cast<double>(s.batch) * (reads + writes);
 }
 
+double direct_dataflow_reads_min(const ConvShape& s, std::int64_t x_max,
+                                 std::int64_t y_max, std::int64_t z_max) {
+  // Equation (20) factors as B*HWC_out*KKC_in*(1/(x*y) + 1/(R*z)): both
+  // summands shrink as any coordinate grows, so over a box the minimum is
+  // attained at (x_max, y_max, z_max).
+  return direct_dataflow_reads(s, x_max, y_max, z_max);
+}
+
 // -------------------------------------------------------------- winograd --
 
 double winograd_dag_vertices(const ConvShape& s, std::int64_t e) {
@@ -215,6 +223,14 @@ double winograd_dataflow_io(const ConvShape& s, std::int64_t e, double S,
                        std::sqrt(xyz);
   const double writes = static_cast<double>(s.hout() * s.wout() * s.cout);
   return static_cast<double>(s.batch) * (reads + writes);
+}
+
+double winograd_dataflow_reads_min(const ConvShape& s, std::int64_t e,
+                                   std::int64_t x_max, std::int64_t y_max,
+                                   std::int64_t z_max) {
+  // Equation (22) factors as B*Cin*HWC_out*(1/z + r^2/(x*y)): strictly
+  // decreasing in each coordinate, so the box minimum is the upper corner.
+  return winograd_dataflow_reads(s, e, x_max, y_max, z_max);
 }
 
 // ---------------------------------------------------- optimality condition --

@@ -27,6 +27,25 @@ struct DomainOptions {
   std::int64_t e = 2;  ///< Winograd output tile edge
 };
 
+/// An axis-aligned sub-box of the tile lattice: half-open index ranges into
+/// the candidate lists xs()/ys()/zs()/smem_choices(). Thread splits and
+/// layouts are never partitioned — they stay free until a singleton box
+/// (leaf) is enumerated, because the per-subtree I/O bound cannot
+/// discriminate them (Equations 20/22 depend only on x, y, z and S_b).
+struct DomainBox {
+  std::size_t x_lo = 0, x_hi = 0;
+  std::size_t y_lo = 0, y_hi = 0;
+  std::size_t z_lo = 0, z_hi = 0;
+  std::size_t s_lo = 0, s_hi = 0;
+
+  /// Exactly one (x, y, z, S_b) lattice point left.
+  bool singleton() const {
+    return x_hi - x_lo == 1 && y_hi - y_lo == 1 && z_hi - z_lo == 1 &&
+           s_hi - s_lo == 1;
+  }
+  bool operator==(const DomainBox&) const = default;
+};
+
 class SearchDomain {
  public:
   static SearchDomain build(const ConvShape& shape, const MachineSpec& spec,
@@ -50,6 +69,29 @@ class SearchDomain {
   /// neighbouring thread split, next layout, next smem budget) that stay
   /// inside the domain.
   std::vector<ConvConfig> neighbors(const ConvConfig& cfg) const;
+
+  // Deterministic sub-box partitioning, shared by the branch-and-bound
+  // tuner and the exhaustive-enumeration certificate test. All iteration
+  // orders below are fixed functions of the candidate lists — no RNG, no
+  // hashing — so subtree traversal is identical across platforms and runs.
+
+  /// The box covering the whole lattice.
+  DomainBox full_box() const;
+
+  /// Splits `box` along its first non-singleton axis — fixed order S_b,
+  /// z, x, y — into one singleton-width slice per candidate index, in
+  /// index order. Children tile the parent exactly (disjoint, complete).
+  /// Returns {} for a singleton box.
+  std::vector<DomainBox> partition(const DomainBox& box) const;
+
+  /// Exact number of valid configurations inside `box` (same count the
+  /// domain's total size() sums over the full box).
+  std::uint64_t count_configs(const DomainBox& box) const;
+
+  /// Every valid configuration inside `box`, in fixed lattice order
+  /// (x, y, z, S_b indices ascending, then thread splits nxt/nyt/nzt
+  /// ascending, then kAllLayouts order). Matches count_configs.
+  std::vector<ConvConfig> enumerate_configs(const DomainBox& box) const;
 
   const std::vector<std::int64_t>& xs() const { return xs_; }
   const std::vector<std::int64_t>& ys() const { return ys_; }

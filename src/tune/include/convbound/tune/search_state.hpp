@@ -1,0 +1,56 @@
+// Line-based text serialization primitives for tuner search state.
+//
+// Checkpoints must resume *bit-identically*: a resumed search replays the
+// exact RNG streams and incumbent comparisons of the uninterrupted run.
+// Doubles therefore round-trip through C99 hexfloats (%a) — exact for every
+// finite value and for infinity — and RNG state round-trips as the raw
+// xoshiro words, never as a reseed. The framing is one record per line with
+// a leading tag token, in the same spirit as the TuneCache text format.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "convbound/conv/conv_config.hpp"
+#include "convbound/util/rng.hpp"
+
+namespace convbound::tunestate {
+
+/// Exact text form of a double ("0x1.5bf0a8b14p+3", "inf", "-inf").
+std::string fmt_f64(double v);
+/// Inverse of fmt_f64; throws on tokens strtod cannot fully consume.
+double parse_f64(const std::string& tok);
+
+/// Writes the 8 ConvConfig fields space-separated, in ConvConfig::key()
+/// order (x y z nxt nyt nzt layout smem).
+void write_config(std::ostream& os, const ConvConfig& cfg);
+/// Reads 8 fields from `is`; throws on malformed input or a layout index
+/// outside kAllLayouts.
+ConvConfig read_config(std::istream& is);
+
+/// RNG state as 4 decimal uint64 words.
+void write_rng(std::ostream& os, const Rng& rng);
+Rng read_rng(std::istream& is);
+
+/// Consumes a text block line by line. Each line starts with a tag token;
+/// line(tag) checks the tag and hands back a stream positioned after it, so
+/// malformed or truncated state files fail loudly with the offending line.
+class Reader {
+ public:
+  explicit Reader(const std::string& text);
+
+  bool eof() const { return next_ >= lines_.size(); }
+  /// Next line's tag without consuming it ("" at EOF).
+  std::string peek_tag() const;
+  /// Consumes the next line; its first token must equal `tag`. Returns a
+  /// stream positioned after the tag.
+  std::istringstream line(const std::string& tag);
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace convbound::tunestate

@@ -7,19 +7,30 @@
 // (Section 6.2-6.3). All tuners share one measurement oracle; "iterations"
 // counts hardware (simulator) trials, the paper's cost unit.
 //
-// Every tuner follows the propose -> measure-batch -> learn loop: proposals
-// are generated serially from the tuner's RNG and recorded in proposal
-// order, while the Measurer is free to evaluate the batch concurrently. The
-// search trace is therefore a pure function of the seed — bit-identical
-// whether batches run on one worker or many.
+// The interface is stepwise (see docs/tuning.md): the driver loop is
+//
+//   tuner.reset(domain);                    // or load_state() to resume
+//   while (tuner.step(measurer, budget)) {  // propose -> measure -> observe
+//     checkpoint = tuner.save_state();      // optional, any round boundary
+//   }
+//
+// Proposals are generated serially from the tuner's RNG and recorded in
+// proposal order, while the Measurer is free to evaluate each batch
+// concurrently. The search trace is therefore a pure function of the seed —
+// bit-identical whether batches run on one worker or many, and bit-identical
+// across a save_state()/load_state() round trip (the checkpoint/resume
+// equivalence property pinned by tune_checkpoint_test).
 #pragma once
 
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "convbound/ml/gbt.hpp"
 #include "convbound/tune/measure.hpp"
+#include "convbound/tune/search_state.hpp"
 
 namespace convbound {
 
@@ -42,12 +53,83 @@ struct TuneResult {
   int trials_to_converge(double slack = 0.01) const;
 };
 
+/// Stepwise, resumable search strategy. Subclasses implement proposal
+/// generation (propose_batch) and learning (on_observe); the base class owns
+/// the trace, the incumbent, and the serialization framing, so every tuner
+/// checkpoints and resumes through the same two calls.
 class Tuner {
  public:
   virtual ~Tuner() = default;
+
+  /// Human-facing name (figure legends).
   virtual std::string name() const = 0;
-  /// Runs `budget` measurements and returns the search trace.
-  virtual TuneResult run(Measurer& measurer, int budget) = 0;
+  /// Registry id ("random" | "sa" | "ga" | "ate" | "bnb"); also the id
+  /// stored in checkpoints so a resumed search rebuilds the right class.
+  virtual std::string id() const = 0;
+
+  /// Binds the tuner to a domain and clears all search state. The domain
+  /// must outlive the tuner's stepping. Must be called (or load_state())
+  /// before the first step()/propose_batch().
+  void reset(const SearchDomain& domain);
+
+  /// Next measurement batch, at most `max_batch` configurations (callers
+  /// pass the remaining budget). An empty batch means the search space is
+  /// exhausted — the tuner will never propose again this run.
+  virtual std::vector<ConvConfig> propose_batch(int max_batch) = 0;
+
+  /// Records a measured batch (results align with cfgs by index) into the
+  /// trace and feeds it to the strategy. Must receive exactly the batch the
+  /// preceding propose_batch() returned.
+  void observe(const std::vector<ConvConfig>& cfgs,
+               const std::vector<Measurement>& ms);
+
+  /// True once the strategy can prove no unexplored configuration remains
+  /// (branch-and-bound: frontier empty). Sampling strategies never exhaust.
+  virtual bool exhausted() const { return false; }
+
+  /// One propose -> measure -> observe round, capped at `budget` total
+  /// trials. Returns true when a non-empty batch was measured. Checkpoints
+  /// taken between step() calls (round boundaries) resume exactly.
+  bool step(Measurer& measurer, int budget);
+
+  /// Fresh search: reset() + step() loop. The historical one-call API.
+  TuneResult run(Measurer& measurer, int budget);
+  /// step() loop *without* reset — continues a loaded or partial search up
+  /// to `budget` total trials (counting the restored history).
+  TuneResult resume(Measurer& measurer, int budget);
+
+  const TuneResult& result() const { return res_; }
+  int trials() const { return static_cast<int>(res_.history.size()); }
+
+  /// Strategy-specific counters (branch-and-bound pruning stats); empty for
+  /// strategies with nothing to report.
+  virtual std::vector<std::pair<std::string, double>> stats() const {
+    return {};
+  }
+
+  /// Serializes the complete search state (trace + strategy internals) to
+  /// the line-based text format described in docs/tuning.md. Only valid at
+  /// a round boundary (between step() calls).
+  std::string save_state() const;
+  /// Restores a save_state() snapshot against `domain` (which must be built
+  /// from the same shape/machine/options — the checkpoint layer verifies
+  /// this, see registry.hpp). Replaces any current state.
+  void load_state(const SearchDomain& domain, const std::string& text);
+
+ protected:
+  const SearchDomain& domain() const;
+
+  /// Strategy hooks: clear internals / learn from a measured batch.
+  virtual void on_reset() = 0;
+  virtual void on_observe(const std::vector<ConvConfig>& cfgs,
+                          const std::vector<Measurement>& ms) = 0;
+  /// Strategy-specific state lines appended after the base trace section.
+  virtual void save_extra(std::ostream& os) const = 0;
+  virtual void load_extra(tunestate::Reader& r) = 0;
+
+ private:
+  const SearchDomain* domain_ = nullptr;
+  TuneResult res_;
 };
 
 /// Uniform random sampling of the domain (TVM "random" baseline), proposed
@@ -56,11 +138,20 @@ class Tuner {
 class RandomTuner : public Tuner {
  public:
   explicit RandomTuner(std::uint64_t seed = 1, int batch = 16)
-      : rng_(seed), batch_(batch) {}
+      : seed_(seed), rng_(seed), batch_(batch) {}
   std::string name() const override { return "random"; }
-  TuneResult run(Measurer& measurer, int budget) override;
+  std::string id() const override { return "random"; }
+  std::vector<ConvConfig> propose_batch(int max_batch) override;
+
+ protected:
+  void on_reset() override { rng_ = Rng(seed_); }
+  void on_observe(const std::vector<ConvConfig>&,
+                  const std::vector<Measurement>&) override {}
+  void save_extra(std::ostream& os) const override;
+  void load_extra(tunestate::Reader& r) override;
 
  private:
+  std::uint64_t seed_;
   Rng rng_;
   int batch_;
 };
@@ -73,14 +164,34 @@ class SimulatedAnnealingTuner : public Tuner {
  public:
   explicit SimulatedAnnealingTuner(std::uint64_t seed = 1, double t0 = 1.0,
                                    double cooling = 0.98, int chains = 4)
-      : rng_(seed), t0_(t0), cooling_(cooling), chains_(chains) {}
+      : seed_(seed), rng_(seed), t0_(t0), cooling_(cooling), chains_(chains) {}
   std::string name() const override { return "simulated-annealing"; }
-  TuneResult run(Measurer& measurer, int budget) override;
+  std::string id() const override { return "sa"; }
+  std::vector<ConvConfig> propose_batch(int max_batch) override;
+
+ protected:
+  void on_reset() override;
+  void on_observe(const std::vector<ConvConfig>& cfgs,
+                  const std::vector<Measurement>& ms) override;
+  void save_extra(std::ostream& os) const override;
+  void load_extra(tunestate::Reader& r) override;
 
  private:
+  struct Chain {
+    Rng rng{0};
+    ConvConfig cur;
+    double cur_seconds = std::numeric_limits<double>::infinity();
+    bool cur_valid = false;
+  };
+
+  std::uint64_t seed_;
   Rng rng_;
   double t0_, cooling_;
   int chains_;
+
+  std::vector<Chain> state_;
+  double temp_ = 1.0;
+  bool round0_done_ = false;
 };
 
 /// Tournament-selection genetic algorithm (TVM "GA" baseline), generational:
@@ -91,14 +202,32 @@ class GeneticTuner : public Tuner {
  public:
   explicit GeneticTuner(std::uint64_t seed = 1, int population = 16,
                         double mutation_rate = 0.3)
-      : rng_(seed), population_(population), mutation_rate_(mutation_rate) {}
+      : seed_(seed), rng_(seed), population_(population),
+        mutation_rate_(mutation_rate) {}
   std::string name() const override { return "genetic"; }
-  TuneResult run(Measurer& measurer, int budget) override;
+  std::string id() const override { return "ga"; }
+  std::vector<ConvConfig> propose_batch(int max_batch) override;
+
+ protected:
+  void on_reset() override;
+  void on_observe(const std::vector<ConvConfig>& cfgs,
+                  const std::vector<Measurement>& ms) override;
+  void save_extra(std::ostream& os) const override;
+  void load_extra(tunestate::Reader& r) override;
 
  private:
+  struct Individual {
+    ConvConfig cfg;
+    double fitness = 0;  // -runtime (higher is better); invalid = -inf
+  };
+
+  std::uint64_t seed_;
   Rng rng_;
   int population_;
   double mutation_rate_;
+
+  std::vector<Individual> pop_;
+  bool init_done_ = false;
 };
 
 /// The paper's auto-tuning engine: (1) train the GBT cost model on all
@@ -117,15 +246,34 @@ class AteTuner : public Tuner {
     /// analytic default derived from the optimality condition).
     std::vector<ConvConfig> seeds;
   };
-  explicit AteTuner(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit AteTuner(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
   AteTuner(std::uint64_t seed, const Params& params)
-      : rng_(seed), params_(params) {}
+      : seed_(seed), rng_(seed), params_(params) {}
   std::string name() const override { return "ate(ours)"; }
-  TuneResult run(Measurer& measurer, int budget) override;
+  std::string id() const override { return "ate"; }
+  std::vector<ConvConfig> propose_batch(int max_batch) override;
+
+ protected:
+  void on_reset() override;
+  void on_observe(const std::vector<ConvConfig>& cfgs,
+                  const std::vector<Measurement>& ms) override;
+  void save_extra(std::ostream& os) const override;
+  void load_extra(tunestate::Reader& r) override;
 
  private:
+  std::uint64_t seed_;
   Rng rng_;
   Params params_;
+
+  // Phases of the paper's loop: 0 = template seeds, 1 = random warm-up,
+  // 2 = model-guided walks. The training set (X_/y_/seen_) is a pure
+  // function of the trace, so load_state rebuilds it instead of storing it;
+  // the GBT fit itself is deterministic and refits on the next round.
+  int phase_ = 0;
+  std::vector<std::vector<double>> X_;
+  std::vector<double> y_;  // log runtime (log compresses the dynamic range)
+  std::unordered_set<ConvConfig> seen_;
+  Gbt model_;
 };
 
 }  // namespace convbound

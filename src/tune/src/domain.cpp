@@ -94,27 +94,103 @@ SearchDomain SearchDomain::build(const ConvShape& shape,
   }
 
   // Exact size: sum over the lattice of valid thread-split counts.
-  std::uint64_t size = 0;
-  for (std::int64_t x : d.xs_) {
-    const auto& tx = d.thread_splits(x);
-    for (std::int64_t y : d.ys_) {
-      const auto& ty = d.thread_splits(y);
-      for (std::int64_t z : d.zs_) {
-        const auto& tz = d.thread_splits(z);
-        for (std::int64_t sb : d.smems_) {
-          if (!d.tile_ok(x, y, z, sb)) continue;
+  d.size_ = d.count_configs(d.full_box());
+  return d;
+}
+
+DomainBox SearchDomain::full_box() const {
+  DomainBox box;
+  box.x_hi = xs_.size();
+  box.y_hi = ys_.size();
+  box.z_hi = zs_.size();
+  box.s_hi = smems_.size();
+  return box;
+}
+
+std::vector<DomainBox> SearchDomain::partition(const DomainBox& box) const {
+  std::vector<DomainBox> out;
+  // Fixed split order S_b -> z -> x -> y: the smem budget and the z tile
+  // dominate both the footprint constraint and the Eq 20/22 bound, so
+  // fixing them first tightens child bounds fastest.
+  auto slice = [&](std::size_t DomainBox::* lo, std::size_t DomainBox::* hi) {
+    if (box.*hi - box.*lo <= 1) return false;
+    for (std::size_t i = box.*lo; i < box.*hi; ++i) {
+      DomainBox child = box;
+      child.*lo = i;
+      child.*hi = i + 1;
+      out.push_back(child);
+    }
+    return true;
+  };
+  if (slice(&DomainBox::s_lo, &DomainBox::s_hi)) return out;
+  if (slice(&DomainBox::z_lo, &DomainBox::z_hi)) return out;
+  if (slice(&DomainBox::x_lo, &DomainBox::x_hi)) return out;
+  if (slice(&DomainBox::y_lo, &DomainBox::y_hi)) return out;
+  return out;  // singleton: nothing to split
+}
+
+std::uint64_t SearchDomain::count_configs(const DomainBox& box) const {
+  CB_CHECK(box.x_hi <= xs_.size() && box.y_hi <= ys_.size() &&
+           box.z_hi <= zs_.size() && box.s_hi <= smems_.size());
+  std::uint64_t count = 0;
+  for (std::size_t xi = box.x_lo; xi < box.x_hi; ++xi) {
+    const auto& tx = thread_splits(xs_[xi]);
+    for (std::size_t yi = box.y_lo; yi < box.y_hi; ++yi) {
+      const auto& ty = thread_splits(ys_[yi]);
+      for (std::size_t zi = box.z_lo; zi < box.z_hi; ++zi) {
+        const auto& tz = thread_splits(zs_[zi]);
+        for (std::size_t si = box.s_lo; si < box.s_hi; ++si) {
+          if (!tile_ok(xs_[xi], ys_[yi], zs_[zi], smems_[si])) continue;
           std::uint64_t splits = 0;
           for (std::int64_t a : tx)
             for (std::int64_t b : ty)
               for (std::int64_t c : tz)
-                if (a * b * c <= spec.max_threads_per_block) ++splits;
-          size += splits * kAllLayouts.size();
+                if (a * b * c <= spec_.max_threads_per_block) ++splits;
+          count += splits * kAllLayouts.size();
         }
       }
     }
   }
-  d.size_ = size;
-  return d;
+  return count;
+}
+
+std::vector<ConvConfig> SearchDomain::enumerate_configs(
+    const DomainBox& box) const {
+  CB_CHECK(box.x_hi <= xs_.size() && box.y_hi <= ys_.size() &&
+           box.z_hi <= zs_.size() && box.s_hi <= smems_.size());
+  std::vector<ConvConfig> out;
+  for (std::size_t xi = box.x_lo; xi < box.x_hi; ++xi) {
+    const auto& tx = thread_splits(xs_[xi]);
+    for (std::size_t yi = box.y_lo; yi < box.y_hi; ++yi) {
+      const auto& ty = thread_splits(ys_[yi]);
+      for (std::size_t zi = box.z_lo; zi < box.z_hi; ++zi) {
+        const auto& tz = thread_splits(zs_[zi]);
+        for (std::size_t si = box.s_lo; si < box.s_hi; ++si) {
+          if (!tile_ok(xs_[xi], ys_[yi], zs_[zi], smems_[si])) continue;
+          for (std::int64_t a : tx) {
+            for (std::int64_t b : ty) {
+              for (std::int64_t c : tz) {
+                if (a * b * c > spec_.max_threads_per_block) continue;
+                for (Layout l : kAllLayouts) {
+                  ConvConfig cfg;
+                  cfg.x = xs_[xi];
+                  cfg.y = ys_[yi];
+                  cfg.z = zs_[zi];
+                  cfg.smem_budget = smems_[si];
+                  cfg.nxt = static_cast<int>(a);
+                  cfg.nyt = static_cast<int>(b);
+                  cfg.nzt = static_cast<int>(c);
+                  cfg.layout = l;
+                  out.push_back(cfg);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
 }
 
 bool SearchDomain::contains(const ConvConfig& cfg) const {

@@ -1,0 +1,88 @@
+#include "convbound/tune/search_state.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "convbound/util/check.hpp"
+
+namespace convbound::tunestate {
+
+std::string fmt_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_f64(const std::string& tok) {
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  CB_CHECK_MSG(end == begin + tok.size() && !tok.empty(),
+               "malformed double token '" << tok << "'");
+  return v;
+}
+
+void write_config(std::ostream& os, const ConvConfig& cfg) {
+  os << cfg.key();
+}
+
+ConvConfig read_config(std::istream& is) {
+  ConvConfig cfg;
+  int layout = -1;
+  is >> cfg.x >> cfg.y >> cfg.z >> cfg.nxt >> cfg.nyt >> cfg.nzt >> layout >>
+      cfg.smem_budget;
+  CB_CHECK_MSG(!is.fail(), "truncated config record");
+  CB_CHECK_MSG(layout >= 0 &&
+                   layout < static_cast<int>(kAllLayouts.size()),
+               "config layout index " << layout << " out of range");
+  cfg.layout = static_cast<Layout>(layout);
+  return cfg;
+}
+
+void write_rng(std::ostream& os, const Rng& rng) {
+  const auto s = rng.state();
+  os << s[0] << ' ' << s[1] << ' ' << s[2] << ' ' << s[3];
+}
+
+Rng read_rng(std::istream& is) {
+  std::array<std::uint64_t, 4> s{};
+  is >> s[0] >> s[1] >> s[2] >> s[3];
+  CB_CHECK_MSG(!is.fail(), "truncated rng record");
+  Rng rng;
+  rng.set_state(s);
+  return rng;
+}
+
+Reader::Reader(const std::string& text) {
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      lines_.push_back(std::move(line));
+      line.clear();
+    } else if (c != '\r') {
+      line += c;
+    }
+  }
+  if (!line.empty()) lines_.push_back(std::move(line));
+}
+
+std::string Reader::peek_tag() const {
+  if (eof()) return "";
+  std::istringstream is(lines_[next_]);
+  std::string tag;
+  is >> tag;
+  return tag;
+}
+
+std::istringstream Reader::line(const std::string& tag) {
+  CB_CHECK_MSG(!eof(), "truncated state: expected '" << tag << "' line");
+  std::istringstream is(lines_[next_++]);
+  std::string got;
+  is >> got;
+  CB_CHECK_MSG(got == tag, "state line tag mismatch: expected '"
+                               << tag << "', got '" << got << "'");
+  return is;
+}
+
+}  // namespace convbound::tunestate

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <ostream>
 
 #include "convbound/tune/features.hpp"
 
@@ -24,19 +24,9 @@ void record(TuneResult& res, const ConvConfig& cfg, const Measurement& m) {
   res.history.push_back(rec);
 }
 
-/// Trims `batch` to the remaining budget, measures it (concurrently, if the
-/// measurer supports it) and records the results in proposal order. Returns
-/// the measurements of the measured prefix.
-std::vector<Measurement> measure_and_record(TuneResult& res, Measurer& measurer,
-                                            std::vector<ConvConfig> batch,
-                                            int budget) {
-  const int remaining = budget - static_cast<int>(res.history.size());
-  if (remaining <= 0) return {};
-  if (static_cast<int>(batch.size()) > remaining)
-    batch.resize(static_cast<std::size_t>(remaining));
-  std::vector<Measurement> ms = measurer.measure_batch(batch);
-  for (std::size_t i = 0; i < batch.size(); ++i) record(res, batch[i], ms[i]);
-  return ms;
+void trim(std::vector<ConvConfig>& batch, int max_batch) {
+  if (static_cast<int>(batch.size()) > max_batch)
+    batch.resize(static_cast<std::size_t>(std::max(0, max_batch)));
 }
 
 }  // namespace
@@ -49,92 +39,265 @@ int TuneResult::trials_to_converge(double slack) const {
   return history.empty() ? 0 : history.back().trial;
 }
 
-TuneResult RandomTuner::run(Measurer& measurer, int budget) {
-  TuneResult res;
-  const SearchDomain& domain = measurer.domain();
-  while (static_cast<int>(res.history.size()) < budget) {
-    const int n = std::min(std::max(1, batch_),
-                           budget - static_cast<int>(res.history.size()));
-    std::vector<ConvConfig> batch;
-    batch.reserve(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) batch.push_back(domain.sample(rng_));
-    measure_and_record(res, measurer, std::move(batch), budget);
-  }
-  return res;
+// ------------------------------------------------------------- Tuner base --
+
+void Tuner::reset(const SearchDomain& domain) {
+  domain_ = &domain;
+  res_ = {};
+  on_reset();
 }
 
-TuneResult SimulatedAnnealingTuner::run(Measurer& measurer, int budget) {
-  TuneResult res;
-  const SearchDomain& domain = measurer.domain();
+const SearchDomain& Tuner::domain() const {
+  CB_CHECK_MSG(domain_ != nullptr,
+               "Tuner::reset() or load_state() must run before stepping");
+  return *domain_;
+}
 
-  struct Chain {
-    Rng rng;
-    ConvConfig cur;
-    Measurement cm;
-  };
-  // Independent per-chain RNG streams derived deterministically from the
-  // tuner seed; chain count never depends on the measurer's worker count.
-  const int nchains = std::max(1, std::min(chains_, budget));
-  std::vector<Chain> chains;
-  chains.reserve(static_cast<std::size_t>(nchains));
-  for (int c = 0; c < nchains; ++c) chains.push_back({rng_.split(), {}, {}});
+void Tuner::observe(const std::vector<ConvConfig>& cfgs,
+                    const std::vector<Measurement>& ms) {
+  CB_CHECK(cfgs.size() == ms.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) record(res_, cfgs[i], ms[i]);
+  on_observe(cfgs, ms);
+}
 
-  // Round 0: every chain starts from its own random configuration.
-  std::vector<ConvConfig> props;
-  props.reserve(chains.size());
-  for (Chain& ch : chains) props.push_back(domain.sample(ch.rng));
-  {
-    const auto ms = measure_and_record(res, measurer, props, budget);
-    for (std::size_t c = 0; c < ms.size(); ++c) {
-      chains[c].cur = props[c];
-      chains[c].cm = ms[c];
-    }
+bool Tuner::step(Measurer& measurer, int budget) {
+  const int remaining = budget - trials();
+  if (remaining <= 0) return false;
+  const std::vector<ConvConfig> batch = propose_batch(remaining);
+  if (batch.empty()) return false;
+  CB_CHECK_MSG(static_cast<int>(batch.size()) <= remaining,
+               "propose_batch() exceeded the remaining budget");
+  const std::vector<Measurement> ms = measurer.measure_batch(batch);
+  observe(batch, ms);
+  return true;
+}
+
+TuneResult Tuner::run(Measurer& measurer, int budget) {
+  reset(measurer.domain());
+  return resume(measurer, budget);
+}
+
+TuneResult Tuner::resume(Measurer& measurer, int budget) {
+  while (step(measurer, budget)) {
   }
+  return res_;
+}
 
-  double temp = t0_;
-  while (static_cast<int>(res.history.size()) < budget) {
-    props.clear();
-    for (Chain& ch : chains) {
-      const auto moves = domain.neighbors(ch.cur);
-      props.push_back(moves.empty() ? domain.sample(ch.rng)
+std::string Tuner::save_state() const {
+  std::ostringstream os;
+  os << "convbound-tuner-state v1\n";
+  os << "id " << id() << '\n';
+  os << "trials " << res_.history.size() << '\n';
+  // Only (config, seconds) per trial: trial numbers, validity (seconds is
+  // finite iff the measurement was valid) and the incumbent sequence are
+  // derived state, recomputed on load by replaying record().
+  for (const TuneRecord& rec : res_.history) {
+    os << "t ";
+    tunestate::write_config(os, rec.config);
+    os << ' ' << tunestate::fmt_f64(rec.seconds) << '\n';
+  }
+  save_extra(os);
+  os << "end\n";
+  return os.str();
+}
+
+void Tuner::load_state(const SearchDomain& domain, const std::string& text) {
+  domain_ = &domain;
+  res_ = {};
+  on_reset();
+
+  tunestate::Reader r(text);
+  {
+    auto is = r.line("convbound-tuner-state");
+    std::string version;
+    is >> version;
+    CB_CHECK_MSG(version == "v1", "unknown tuner-state version '" << version
+                                                                  << "'");
+  }
+  {
+    auto is = r.line("id");
+    std::string got;
+    is >> got;
+    CB_CHECK_MSG(got == id(), "checkpoint is for tuner '"
+                                  << got << "', this tuner is '" << id()
+                                  << "'");
+  }
+  std::size_t n = 0;
+  r.line("trials") >> n;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto is = r.line("t");
+    const ConvConfig cfg = tunestate::read_config(is);
+    std::string tok;
+    is >> tok;
+    const double seconds = tunestate::parse_f64(tok);
+    Measurement m;
+    m.seconds = seconds;
+    m.valid = std::isfinite(seconds);
+    record(res_, cfg, m);
+  }
+  load_extra(r);
+  r.line("end");
+}
+
+// ------------------------------------------------------------ RandomTuner --
+
+std::vector<ConvConfig> RandomTuner::propose_batch(int max_batch) {
+  const int n = std::min(std::max(1, batch_), max_batch);
+  std::vector<ConvConfig> batch;
+  batch.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) batch.push_back(domain().sample(rng_));
+  return batch;
+}
+
+void RandomTuner::save_extra(std::ostream& os) const {
+  os << "rng ";
+  tunestate::write_rng(os, rng_);
+  os << '\n';
+}
+
+void RandomTuner::load_extra(tunestate::Reader& r) {
+  auto is = r.line("rng");
+  rng_ = tunestate::read_rng(is);
+}
+
+// ------------------------------------------------ SimulatedAnnealingTuner --
+
+void SimulatedAnnealingTuner::on_reset() {
+  rng_ = Rng(seed_);
+  state_.clear();
+  temp_ = t0_;
+  round0_done_ = false;
+}
+
+std::vector<ConvConfig> SimulatedAnnealingTuner::propose_batch(int max_batch) {
+  std::vector<ConvConfig> props;
+  if (state_.empty()) {
+    // Round 0: independent per-chain RNG streams derived deterministically
+    // from the tuner seed; chain count never depends on the measurer's
+    // worker count. (max_batch == the full budget on the first round.)
+    const int nchains = std::max(1, std::min(chains_, max_batch));
+    state_.reserve(static_cast<std::size_t>(nchains));
+    for (int c = 0; c < nchains; ++c) {
+      Chain ch;
+      ch.rng = rng_.split();
+      state_.push_back(std::move(ch));
+    }
+    for (Chain& ch : state_) props.push_back(domain().sample(ch.rng));
+  } else {
+    for (Chain& ch : state_) {
+      const auto moves = domain().neighbors(ch.cur);
+      props.push_back(moves.empty() ? domain().sample(ch.rng)
                                     : moves[ch.rng.below(moves.size())]);
     }
-    const auto ms = measure_and_record(res, measurer, props, budget);
-    for (std::size_t c = 0; c < ms.size(); ++c) {
-      Chain& ch = chains[c];
-      const Measurement& nm = ms[c];
-      bool accept = false;
-      if (nm.valid && (!ch.cm.valid || nm.seconds <= ch.cm.seconds)) {
-        accept = true;
-      } else if (nm.valid && ch.cm.valid) {
-        const double delta = (nm.seconds - ch.cm.seconds) / ch.cm.seconds;
-        accept = ch.rng.uniform() < std::exp(-delta / std::max(1e-6, temp));
-      }
-      if (accept) {
-        ch.cur = props[c];
-        ch.cm = nm;
-      }
-    }
-    temp *= cooling_;
   }
-  return res;
+  trim(props, max_batch);
+  return props;
 }
 
-TuneResult GeneticTuner::run(Measurer& measurer, int budget) {
-  TuneResult res;
-  const SearchDomain& domain = measurer.domain();
-  struct Individual {
-    ConvConfig cfg;
-    double fitness;  // -runtime (higher is better); invalid = -inf
-  };
-  std::vector<Individual> pop;
+void SimulatedAnnealingTuner::on_observe(const std::vector<ConvConfig>& cfgs,
+                                         const std::vector<Measurement>& ms) {
+  if (!round0_done_) {
+    // Every chain adopts its starting point unconditionally (chains past a
+    // budget-trimmed batch keep their invalid default state).
+    for (std::size_t c = 0; c < ms.size(); ++c) {
+      state_[c].cur = cfgs[c];
+      state_[c].cur_seconds = ms[c].seconds;
+      state_[c].cur_valid = ms[c].valid;
+    }
+    round0_done_ = true;
+    return;
+  }
+  for (std::size_t c = 0; c < ms.size(); ++c) {
+    Chain& ch = state_[c];
+    const Measurement& nm = ms[c];
+    bool accept = false;
+    if (nm.valid && (!ch.cur_valid || nm.seconds <= ch.cur_seconds)) {
+      accept = true;
+    } else if (nm.valid && ch.cur_valid) {
+      const double delta = (nm.seconds - ch.cur_seconds) / ch.cur_seconds;
+      accept = ch.rng.uniform() < std::exp(-delta / std::max(1e-6, temp_));
+    }
+    if (accept) {
+      ch.cur = cfgs[c];
+      ch.cur_seconds = nm.seconds;
+      ch.cur_valid = nm.valid;
+    }
+  }
+  temp_ *= cooling_;
+}
 
-  auto fitness_of = [](const Measurement& m) {
-    return m.valid ? -m.seconds : -std::numeric_limits<double>::infinity();
-  };
+void SimulatedAnnealingTuner::save_extra(std::ostream& os) const {
+  os << "rng ";
+  tunestate::write_rng(os, rng_);
+  os << '\n';
+  os << "sa " << tunestate::fmt_f64(temp_) << ' ' << (round0_done_ ? 1 : 0)
+     << ' ' << state_.size() << '\n';
+  for (const Chain& ch : state_) {
+    os << "chain ";
+    tunestate::write_rng(os, ch.rng);
+    os << ' ';
+    tunestate::write_config(os, ch.cur);
+    os << ' ' << tunestate::fmt_f64(ch.cur_seconds) << ' '
+       << (ch.cur_valid ? 1 : 0) << '\n';
+  }
+}
+
+void SimulatedAnnealingTuner::load_extra(tunestate::Reader& r) {
+  {
+    auto is = r.line("rng");
+    rng_ = tunestate::read_rng(is);
+  }
+  std::size_t nchains = 0;
+  {
+    auto is = r.line("sa");
+    std::string temp_tok;
+    int done = 0;
+    is >> temp_tok >> done >> nchains;
+    CB_CHECK_MSG(!is.fail(), "truncated sa state line");
+    temp_ = tunestate::parse_f64(temp_tok);
+    round0_done_ = done != 0;
+  }
+  state_.clear();
+  state_.reserve(nchains);
+  for (std::size_t c = 0; c < nchains; ++c) {
+    auto is = r.line("chain");
+    Chain ch;
+    ch.rng = tunestate::read_rng(is);
+    ch.cur = tunestate::read_config(is);
+    std::string tok;
+    int valid = 0;
+    is >> tok >> valid;
+    CB_CHECK_MSG(!is.fail(), "truncated sa chain line");
+    ch.cur_seconds = tunestate::parse_f64(tok);
+    ch.cur_valid = valid != 0;
+    state_.push_back(std::move(ch));
+  }
+}
+
+// ----------------------------------------------------------- GeneticTuner --
+
+void GeneticTuner::on_reset() {
+  rng_ = Rng(seed_);
+  pop_.clear();
+  init_done_ = false;
+}
+
+std::vector<ConvConfig> GeneticTuner::propose_batch(int max_batch) {
+  std::vector<ConvConfig> props;
+  if (pop_.empty()) {
+    // An empty pool after initialisation means nothing to breed from
+    // (population 0); the historical loop stopped there too.
+    if (init_done_) return {};
+    // Initial generation (max_batch == the full budget on the first round).
+    const int init = std::min(population_, max_batch);
+    props.reserve(static_cast<std::size_t>(init));
+    for (int i = 0; i < init; ++i) props.push_back(domain().sample(rng_));
+    return props;
+  }
+
   auto tournament = [&]() -> const Individual& {
-    const Individual& a = pop[rng_.below(pop.size())];
-    const Individual& b = pop[rng_.below(pop.size())];
+    const Individual& a = pop_[rng_.below(pop_.size())];
+    const Individual& b = pop_[rng_.below(pop_.size())];
     return a.fitness >= b.fitness ? a : b;
   };
   auto crossover = [&](const ConvConfig& a, const ConvConfig& b) {
@@ -147,140 +310,208 @@ TuneResult GeneticTuner::run(Measurer& measurer, int budget) {
     return c;
   };
 
-  // Initial generation.
-  const int init = std::min(population_, budget);
-  std::vector<ConvConfig> props;
-  props.reserve(static_cast<std::size_t>(init));
-  for (int i = 0; i < init; ++i) props.push_back(domain.sample(rng_));
-  {
-    const auto ms = measure_and_record(res, measurer, props, budget);
-    for (std::size_t i = 0; i < ms.size(); ++i)
-      pop.push_back({props[i], fitness_of(ms[i])});
-  }
-
-  while (static_cast<int>(res.history.size()) < budget && !pop.empty()) {
-    // Breed one generation of children from the current pool.
-    const int n = std::min(population_,
-                           budget - static_cast<int>(res.history.size()));
-    props.clear();
-    for (int i = 0; i < n; ++i) {
-      ConvConfig child = crossover(tournament().cfg, tournament().cfg);
-      if (rng_.uniform() < mutation_rate_) {
-        const auto moves = domain.neighbors(child);
-        if (!moves.empty()) child = moves[rng_.below(moves.size())];
-      }
-      if (!domain.contains(child)) child = domain.sample(rng_);
-      props.push_back(child);
+  const int n = std::min(population_, max_batch);
+  props.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ConvConfig child = crossover(tournament().cfg, tournament().cfg);
+    if (rng_.uniform() < mutation_rate_) {
+      const auto moves = domain().neighbors(child);
+      if (!moves.empty()) child = moves[rng_.below(moves.size())];
     }
-    const auto ms = measure_and_record(res, measurer, props, budget);
-    for (std::size_t i = 0; i < ms.size(); ++i)
-      pop.push_back({props[i], fitness_of(ms[i])});
-    // (mu + lambda) elitism; stable so equal-fitness ties keep seniority.
-    std::stable_sort(pop.begin(), pop.end(),
-                     [](const Individual& a, const Individual& b) {
-                       return a.fitness > b.fitness;
-                     });
-    if (static_cast<int>(pop.size()) > population_)
-      pop.resize(static_cast<std::size_t>(population_));
+    if (!domain().contains(child)) child = domain().sample(rng_);
+    props.push_back(child);
   }
-  return res;
+  return props;
 }
 
-TuneResult AteTuner::run(Measurer& measurer, int budget) {
-  TuneResult res;
-  const SearchDomain& domain = measurer.domain();
+void GeneticTuner::on_observe(const std::vector<ConvConfig>& cfgs,
+                              const std::vector<Measurement>& ms) {
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    pop_.push_back(
+        {cfgs[i], ms[i].valid ? -ms[i].seconds
+                              : -std::numeric_limits<double>::infinity()});
+  }
+  if (!init_done_) {
+    // The initial pool enters unsorted (seniority order), as the paper's
+    // generational loop only ranks once breeding starts.
+    init_done_ = true;
+    return;
+  }
+  // (mu + lambda) elitism; stable so equal-fitness ties keep seniority.
+  std::stable_sort(pop_.begin(), pop_.end(),
+                   [](const Individual& a, const Individual& b) {
+                     return a.fitness > b.fitness;
+                   });
+  if (static_cast<int>(pop_.size()) > population_)
+    pop_.resize(static_cast<std::size_t>(population_));
+}
 
-  std::vector<std::vector<double>> X;
-  std::vector<double> y;  // log runtime (log compresses the dynamic range)
-  std::unordered_set<ConvConfig> seen;
-  Gbt model;
+void GeneticTuner::save_extra(std::ostream& os) const {
+  os << "rng ";
+  tunestate::write_rng(os, rng_);
+  os << '\n';
+  os << "ga " << (init_done_ ? 1 : 0) << ' ' << pop_.size() << '\n';
+  for (const Individual& ind : pop_) {
+    os << "ind ";
+    tunestate::write_config(os, ind.cfg);
+    os << ' ' << tunestate::fmt_f64(ind.fitness) << '\n';
+  }
+}
 
-  // Measures a proposal batch and feeds every valid result to the model's
-  // training set; returns how many candidates were actually measured.
-  auto measure_and_learn = [&](std::vector<ConvConfig> batch) {
-    const auto ms = measure_and_record(res, measurer, batch, budget);
-    for (std::size_t i = 0; i < ms.size(); ++i) {
-      seen.insert(batch[i]);
-      if (ms[i].valid) {
-        X.push_back(config_features(domain, batch[i]));
-        y.push_back(std::log(ms[i].seconds));
-      }
-    }
-    return ms.size();
-  };
+void GeneticTuner::load_extra(tunestate::Reader& r) {
+  {
+    auto is = r.line("rng");
+    rng_ = tunestate::read_rng(is);
+  }
+  std::size_t npop = 0;
+  {
+    auto is = r.line("ga");
+    int done = 0;
+    is >> done >> npop;
+    CB_CHECK_MSG(!is.fail(), "truncated ga state line");
+    init_done_ = done != 0;
+  }
+  pop_.clear();
+  pop_.reserve(npop);
+  for (std::size_t i = 0; i < npop; ++i) {
+    auto is = r.line("ind");
+    Individual ind;
+    ind.cfg = tunestate::read_config(is);
+    std::string tok;
+    is >> tok;
+    CB_CHECK_MSG(!is.fail(), "truncated ga individual line");
+    ind.fitness = tunestate::parse_f64(tok);
+    pop_.push_back(std::move(ind));
+  }
+}
 
+// --------------------------------------------------------------- AteTuner --
+
+void AteTuner::on_reset() {
+  rng_ = Rng(seed_);
+  phase_ = 0;
+  X_.clear();
+  y_.clear();
+  seen_.clear();
+  model_ = Gbt();
+}
+
+std::vector<ConvConfig> AteTuner::propose_batch(int max_batch) {
   // Template-provided seeds first (snapped into the domain's S_b lattice),
   // then random warm-up (the paper's "n_s random configurations are chosen
-  // as initial guesses").
-  {
+  // as initial guesses"). Empty phases fall straight through so an empty
+  // proposal always means "exhausted", never "between phases".
+  if (phase_ == 0) {
+    phase_ = 1;
     std::vector<ConvConfig> batch;
     std::unordered_set<ConvConfig> pending;
     for (ConvConfig seed : params_.seeds) {
-      if (seed.smem_budget == 0 && !domain.smem_choices().empty()) {
-        seed.smem_budget = domain.smem_choices().front();
+      if (seed.smem_budget == 0 && !domain().smem_choices().empty()) {
+        seed.smem_budget = domain().smem_choices().front();
       }
       if (pending.insert(seed).second) batch.push_back(seed);
     }
-    measure_and_learn(std::move(batch));
+    trim(batch, max_batch);
+    if (!batch.empty()) return batch;
   }
-  const int warm = std::min(params_.warmup, budget);
-  if (static_cast<int>(res.history.size()) < warm) {
-    std::vector<ConvConfig> batch;
-    const int n = warm - static_cast<int>(res.history.size());
-    for (int i = 0; i < n; ++i) batch.push_back(domain.sample(rng_));
-    measure_and_learn(std::move(batch));
+  if (phase_ == 1) {
+    // Equivalent to the historical warm = min(warmup, budget) top-up:
+    // max_batch is the remaining budget, so the cap applies either way.
+    const int n = std::min(params_.warmup - trials(), max_batch);
+    if (n > 0) {
+      std::vector<ConvConfig> batch;
+      batch.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) batch.push_back(domain().sample(rng_));
+      return batch;
+    }
+    phase_ = 2;
   }
 
-  while (static_cast<int>(res.history.size()) < budget) {
-    if (X.size() >= 4) model.fit(X, y, params_.gbt);
+  if (X_.size() >= 4) model_.fit(X_, y_, params_.gbt);
+  auto predict = [&](const ConvConfig& cfg) {
+    if (!model_.trained()) return 0.0;
+    return model_.predict(config_features(domain(), cfg));
+  };
 
-    auto predict = [&](const ConvConfig& cfg) {
-      if (!model.trained()) return 0.0;
-      return model.predict(config_features(domain, cfg));
-    };
-
-    // n_s parallel random walks, each converging toward lower predicted
-    // cost (epsilon-greedy downhill walk on the lattice). Proposals come
-    // from the single tuner RNG, in a fixed order.
-    std::vector<std::pair<double, ConvConfig>> candidates;
-    for (int w = 0; w < params_.ns; ++w) {
-      ConvConfig cur = res.best_seconds < 1e30 && rng_.uniform() < 0.5
-                           ? res.best
-                           : domain.sample(rng_);
-      double cur_cost = predict(cur);
-      for (int step = 0; step < params_.walk_steps; ++step) {
-        const auto moves = domain.neighbors(cur);
-        if (moves.empty()) break;
-        const ConvConfig& next = moves[rng_.below(moves.size())];
-        const double next_cost = predict(next);
-        if (next_cost <= cur_cost || rng_.uniform() < params_.epsilon) {
-          cur = next;
-          cur_cost = next_cost;
-        }
+  // n_s parallel random walks, each converging toward lower predicted cost
+  // (epsilon-greedy downhill walk on the lattice). Proposals come from the
+  // single tuner RNG, in a fixed order.
+  const TuneResult& res = result();
+  std::vector<std::pair<double, ConvConfig>> candidates;
+  for (int w = 0; w < params_.ns; ++w) {
+    ConvConfig cur = res.best_seconds < 1e30 && rng_.uniform() < 0.5
+                         ? res.best
+                         : domain().sample(rng_);
+    double cur_cost = predict(cur);
+    for (int step = 0; step < params_.walk_steps; ++step) {
+      const auto moves = domain().neighbors(cur);
+      if (moves.empty()) break;
+      const ConvConfig& next = moves[rng_.below(moves.size())];
+      const double next_cost = predict(next);
+      if (next_cost <= cur_cost || rng_.uniform() < params_.epsilon) {
+        cur = next;
+        cur_cost = next_cost;
       }
-      candidates.emplace_back(cur_cost, cur);
     }
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first < b.first;
-                     });
+    candidates.emplace_back(cur_cost, cur);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
-    // Measure the most promising unseen endpoints as one batch.
-    std::vector<ConvConfig> batch;
-    std::unordered_set<ConvConfig> pending;
-    for (const auto& [cost, cfg] : candidates) {
-      if (seen.count(cfg) || !pending.insert(cfg).second) continue;
-      batch.push_back(cfg);
-    }
-    const std::size_t measured_this_round =
-        measure_and_learn(std::move(batch));
-    // All walks landed on known configs: inject fresh randomness.
-    if (measured_this_round == 0 &&
-        static_cast<int>(res.history.size()) < budget) {
-      measure_and_learn({domain.sample(rng_)});
+  // Measure the most promising unseen endpoints as one batch; if every walk
+  // landed on a known config, inject fresh randomness instead.
+  std::vector<ConvConfig> batch;
+  std::unordered_set<ConvConfig> pending;
+  for (const auto& [cost, cfg] : candidates) {
+    if (seen_.count(cfg) || !pending.insert(cfg).second) continue;
+    batch.push_back(cfg);
+  }
+  trim(batch, max_batch);
+  if (batch.empty()) batch.push_back(domain().sample(rng_));
+  return batch;
+}
+
+void AteTuner::on_observe(const std::vector<ConvConfig>& cfgs,
+                          const std::vector<Measurement>& ms) {
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    seen_.insert(cfgs[i]);
+    if (ms[i].valid) {
+      X_.push_back(config_features(domain(), cfgs[i]));
+      y_.push_back(std::log(ms[i].seconds));
     }
   }
-  return res;
+}
+
+void AteTuner::save_extra(std::ostream& os) const {
+  os << "rng ";
+  tunestate::write_rng(os, rng_);
+  os << '\n';
+  // X_/y_/seen_ are a pure function of the trace (rebuilt by load_state via
+  // on_observe replay below); only the phase and RNG stream are primary.
+  os << "ate " << phase_ << '\n';
+}
+
+void AteTuner::load_extra(tunestate::Reader& r) {
+  {
+    auto is = r.line("rng");
+    rng_ = tunestate::read_rng(is);
+  }
+  {
+    auto is = r.line("ate");
+    is >> phase_;
+    CB_CHECK_MSG(!is.fail(), "truncated ate state line");
+  }
+  // Rebuild the training set from the restored trace, in trace order —
+  // identical to the online accumulation (valid <=> finite seconds).
+  for (const TuneRecord& rec : result().history) {
+    seen_.insert(rec.config);
+    if (std::isfinite(rec.seconds)) {
+      X_.push_back(config_features(domain(), rec.config));
+      y_.push_back(std::log(rec.seconds));
+    }
+  }
 }
 
 }  // namespace convbound

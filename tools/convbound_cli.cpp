@@ -6,10 +6,15 @@
 //   run    --cin N --in N --cout N [...] [--machine NAME] [--algo NAME]
 //       Execute one convolution on the simulated machine and report stats.
 //   tune   --cin N --in N --cout N [...] [--budget N] [--cache FILE]
-//          [--workers N]
+//          [--workers N] [--tuner bnb|ate|sa|ga|random]
+//          [--checkpoint FILE] [--resume 1]
 //       Auto-tune the dataflow with the batched parallel measurement
 //       engine (--workers 0 = one per hardware thread); optionally
-//       persist the result to a cache.
+//       persist the result to a cache. --checkpoint writes the resumable
+//       search state after every measured batch; --resume 1 continues a
+//       checkpointed search bit-identically up to --budget total trials
+//       (see docs/tuning.md). The bnb tuner prints its pruning stats and
+//       reports when the result is a certified optimum.
 //   models [--machine NAME]
 //       Compare baseline vs our dataflows across the CNN model zoo.
 //   plan   --model NAME | --cin N --in N --cout N [...]
@@ -206,6 +211,9 @@ int cmd_tune(const Args& a) {
   opts.winograd = a.geti("winograd", 0) != 0;
   opts.seed = static_cast<std::uint64_t>(a.geti("seed", 1));
   opts.workers = static_cast<int>(a.geti("workers", 0));
+  opts.tuner = a.gets("tuner", "ate");
+  opts.checkpoint = a.gets("checkpoint", "");
+  opts.resume = a.geti("resume", 0) != 0;
 
   const std::string cache_path = a.gets("cache", "");
   const std::string key =
@@ -214,7 +222,9 @@ int cmd_tune(const Args& a) {
   if (!cache_path.empty()) {
     try {
       cache = TuneCache::load(cache_path);
-      if (const auto hit = cache.get(key)) {
+      // A resume continues its checkpoint even when the cache already has
+      // an answer (the search may still improve on the cached one).
+      if (const auto hit = cache.get(key); hit && !opts.resume) {
         std::printf("cache hit: %s -> %.0f GFlops (%s)\n", key.c_str(),
                     hit->gflops, hit->config.to_string().c_str());
         return 0;
@@ -225,12 +235,20 @@ int cmd_tune(const Args& a) {
   }
 
   const AutotuneOutcome outcome = autotune_conv(gpu, s, opts);
-  std::printf("domain: %llu configurations; best after %zu trials:\n",
+  if (outcome.resumed_from_trials > 0)
+    std::printf("resumed from %s at trial %d\n", opts.checkpoint.c_str(),
+                outcome.resumed_from_trials);
+  std::printf("domain: %llu configurations; best after %zu trials (%s):\n",
               static_cast<unsigned long long>(outcome.domain.size()),
-              outcome.result.history.size());
+              outcome.result.history.size(), opts.tuner.c_str());
   std::printf("  %s -> %.0f GFlops (converged at trial %d)\n",
               outcome.result.best.to_string().c_str(), outcome.best_gflops,
               outcome.result.trials_to_converge());
+  for (const auto& [stat, value] : outcome.tuner_stats)
+    std::printf("  %s: %.0f\n", stat.c_str(), value);
+  if (outcome.proven_optimal)
+    std::printf("  certified optimal: every unmeasured configuration was "
+                "pruned by an admissible bound\n");
   if (!cache_path.empty()) {
     cache.put(key, {outcome.result.best, outcome.best_gflops});
     cache.save(cache_path);
