@@ -185,6 +185,12 @@ class ClusterServer {
   ShardedRequestQueue queue_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<BatchScheduler> scheduler_;
+  /// Lifecycle bits are seq_cst: started_ is flipped after router_ is
+  /// assigned and read as the gate before touching it, so the store/load
+  /// pair must order that publication; stopped_ decides stop() idempotence
+  /// across threads. The chaos counters are independent monotonic tallies
+  /// (relaxed — nothing is published through them; snapshot readers accept
+  /// point-in-time values).
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   // Chaos accounting.

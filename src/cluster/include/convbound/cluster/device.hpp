@@ -23,13 +23,11 @@
 // scratch and re-warms it (a replacement device hot-joining the fleet).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +37,8 @@
 #include "convbound/serve/model.hpp"
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/stats.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -121,8 +121,18 @@ class ClusterDevice {
 
   const std::string& name() const { return config_.name; }
   const DeviceConfig& config() const { return config_; }
-  ServeEngine& engine() { return *engine_; }
-  const ServeEngine& engine() const { return *engine_; }
+  /// The pointer read takes engine_mu_ so it cannot tear against a cold
+  /// revive's engine swap; the *reference* stays valid only as long as no
+  /// cold revive runs, which the cluster's lifecycle guarantees for every
+  /// caller (start()-time cost-table reads and test probes).
+  ServeEngine& engine() {
+    MutexLock lock(engine_mu_);
+    return *engine_;
+  }
+  const ServeEngine& engine() const {
+    MutexLock lock(engine_mu_);
+    return *engine_;
+  }
 
  private:
   struct Task {
@@ -142,19 +152,22 @@ class ClusterDevice {
   const std::map<std::string, ServedModel>* models_;
   EngineOptions engine_opts_;
   ServerStats stats_;
-  /// Behind a pointer so a cold revive can rebuild it; engine_mu_ guards
-  /// the pointer swap against concurrent stats() polls (workers are always
-  /// joined before a swap, so execution never races it).
-  std::unique_ptr<ServeEngine> engine_;
-  mutable std::mutex engine_mu_;
+  /// Behind a pointer so a cold revive can rebuild it. engine_mu_ guards
+  /// the *pointer* (swap vs. concurrent stats() polls and worker reads);
+  /// the pointee is the thread-safe ServeEngine, used outside the lock by
+  /// design. Every reader loads the pointer under engine_mu_ into a local
+  /// first — workers are always joined before a swap, so the pointee a
+  /// worker is using is never destroyed under it.
+  mutable Mutex engine_mu_;
+  std::unique_ptr<ServeEngine> engine_ CB_GUARDED_BY(engine_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> tasks_;
-  std::vector<std::thread> workers_;
-  Mode mode_ = Mode::kRunning;
-  bool started_ = false;
-  bool alive_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Task> tasks_ CB_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ CB_GUARDED_BY(mu_);
+  Mode mode_ CB_GUARDED_BY(mu_) = Mode::kRunning;
+  bool started_ CB_GUARDED_BY(mu_) = false;
+  bool alive_ CB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace convbound

@@ -43,12 +43,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <vector>
 
 #include "convbound/serve/scheduler.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -134,7 +134,12 @@ class Router {
   Snapshot snapshot() const;
 
   RoutePolicy policy() const { return policy_; }
-  int size() const { return static_cast<int>(devices_.size()); }
+  /// Device count. devices_ never grows or shrinks after the constructor
+  /// (only element fields mutate, under mu_), so reading its size lock-free
+  /// is safe; the analysis exemption states that, it does not waive it.
+  int size() const CB_NO_THREAD_SAFETY_ANALYSIS {
+    return static_cast<int>(devices_.size());
+  }
 
  private:
   struct DeviceState {
@@ -145,21 +150,32 @@ class Router {
     bool alive = true;
   };
 
-  const ModelCost& cost(const DeviceState& d, const std::string& model) const;
-  double score(const DeviceState& d, const std::string& model) const;
+  /// The const helpers below walk guarded placement state (devices_,
+  /// rr_next_), so callers must hold mu_ — CB_REQUIRES makes the analyzer
+  /// enforce what the old *_locked naming only suggested.
+  const ModelCost& cost(const DeviceState& d, const std::string& model) const
+      CB_REQUIRES(mu_);
+  double score(const DeviceState& d, const std::string& model) const
+      CB_REQUIRES(mu_);
+  /// Whether device `i` may take a placement: alive, and (when
+  /// `only_available`) below its pending cap. A named method rather than a
+  /// lambda inside pick() because the analyzer treats lambdas as separate
+  /// functions that do not inherit the caller's held locks.
+  bool placeable(int i, bool only_available) const CB_REQUIRES(mu_);
   /// Best *alive* device for `model` under `policy_`; when
   /// `only_available`, also skip devices at their pending cap (-1 if none
   /// qualifies).
-  int pick(const std::string& model, bool only_available) const;
-  bool any_alive_locked() const;
+  int pick(const std::string& model, bool only_available) const
+      CB_REQUIRES(mu_);
+  bool any_alive_locked() const CB_REQUIRES(mu_);
 
   RoutePolicy policy_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<DeviceState> devices_;
-  std::uint64_t stolen_ = 0;
-  int rr_next_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<DeviceState> devices_ CB_GUARDED_BY(mu_);
+  std::uint64_t stolen_ CB_GUARDED_BY(mu_) = 0;
+  int rr_next_ CB_GUARDED_BY(mu_) = 0;
+  bool closed_ CB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace convbound

@@ -40,8 +40,10 @@ ClusterServer::ClusterServer(std::vector<ServedModel> models,
 ClusterServer::~ClusterServer() { stop(); }
 
 void ClusterServer::start() {
-  CB_CHECK_MSG(!stopped_, "cluster cannot restart after stop()");
-  CB_CHECK_MSG(!started_, "cluster already started");
+  CB_CHECK_MSG(!stopped_.load(std::memory_order_seq_cst),
+               "cluster cannot restart after stop()");
+  CB_CHECK_MSG(!started_.load(std::memory_order_seq_cst),
+               "cluster already started");
   // Devices warm serially here but each warm() parallelises internally
   // across the global pool, so fleet startup still scales with cores.
   for (auto& d : devices_) d->start();
@@ -89,16 +91,17 @@ void ClusterServer::start() {
           // the group with us; release the reservation and send every
           // request back through the front queue (zero loss).
           router_->complete(p.device, m);
-          requeued_requests_ += requeue_group(std::move(group));
+          requeued_requests_.fetch_add(requeue_group(std::move(group)),
+                                       std::memory_order_relaxed);
         }
       });
   stats_.mark_start();
-  started_ = true;
+  started_.store(true, std::memory_order_seq_cst);
   scheduler_->start();
 }
 
 void ClusterServer::stop() {
-  if (stopped_.exchange(true)) return;
+  if (stopped_.exchange(true, std::memory_order_seq_cst)) return;
   queue_.close();
   // Closing the router lets a reserve() blocked on a fully-dead fleet
   // return (device = -1) instead of deadlocking the scheduler join below;
@@ -139,7 +142,7 @@ std::future<InferResponse> ClusterServer::submit(InferRequest request) {
   ServerStats& stripe =
       stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
 
-  if (stopped_) {
+  if (stopped_.load(std::memory_order_seq_cst)) {
     InferResponse r;
     r.status = ServeStatus::kShutdown;
     stripe.record_shutdown_rejected(cls);
@@ -208,7 +211,8 @@ std::size_t ClusterServer::requeue_group(std::vector<PendingRequest> group) {
 }
 
 std::size_t ClusterServer::fail_device(std::size_t i) {
-  CB_CHECK_MSG(started_, "fail_device() before start()");
+  CB_CHECK_MSG(started_.load(std::memory_order_seq_cst),
+               "fail_device() before start()");
   CB_CHECK_MSG(i < devices_.size(), "fail_device() for unknown device " << i);
   // Order matters: mark the device dead in the router first so no *new*
   // placement lands on it, then strand whatever its queue already held.
@@ -216,7 +220,7 @@ std::size_t ClusterServer::fail_device(std::size_t i) {
   // re-queued by the dispatch path above — either way, zero loss.
   router_->set_alive(static_cast<int>(i), false);
   std::vector<ClusterDevice::StrandedGroup> stranded = devices_[i]->fail();
-  ++device_failures_;
+  device_failures_.fetch_add(1, std::memory_order_relaxed);
   std::size_t requeued = 0;
   for (auto& s : stranded) {
     // The reservation pinned by the stranded group returns first so the
@@ -225,12 +229,13 @@ std::size_t ClusterServer::fail_device(std::size_t i) {
     if (s.on_done) s.on_done();
     requeued += requeue_group(std::move(s.group));
   }
-  requeued_requests_ += requeued;
+  requeued_requests_.fetch_add(requeued, std::memory_order_relaxed);
   return requeued;
 }
 
 void ClusterServer::revive_device(std::size_t i, ReviveMode mode) {
-  CB_CHECK_MSG(started_, "revive_device() before start()");
+  CB_CHECK_MSG(started_.load(std::memory_order_seq_cst),
+               "revive_device() before start()");
   CB_CHECK_MSG(i < devices_.size(),
                "revive_device() for unknown device " << i);
   devices_[i]->revive(mode);
@@ -247,7 +252,7 @@ void ClusterServer::revive_device(std::size_t i, ReviveMode mode) {
   }
   router_->update_costs(static_cast<int>(i), std::move(costs));
   router_->set_alive(static_cast<int>(i), true);
-  ++device_revives_;
+  device_revives_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ClusterSnapshot ClusterServer::stats() const {
@@ -255,11 +260,11 @@ ClusterSnapshot ClusterServer::stats() const {
   Router::Snapshot route;
   // started_ (atomic) is flipped after router_ is assigned, so gating on it
   // keeps a stats() poll racing start() off the half-built pointer.
-  if (started_) route = router_->snapshot();
+  if (started_.load(std::memory_order_seq_cst)) route = router_->snapshot();
   snap.stolen_groups = route.stolen;
-  snap.device_failures = device_failures_;
-  snap.device_revives = device_revives_;
-  snap.requeued_requests = requeued_requests_;
+  snap.device_failures = device_failures_.load(std::memory_order_relaxed);
+  snap.device_revives = device_revives_.load(std::memory_order_relaxed);
+  snap.requeued_requests = requeued_requests_.load(std::memory_order_relaxed);
 
   std::vector<StatsSnapshot> parts;
   for (std::size_t i = 0; i < devices_.size(); ++i) {

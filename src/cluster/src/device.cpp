@@ -32,17 +32,25 @@ ClusterDevice::~ClusterDevice() { drain(); }
 
 void ClusterDevice::start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CB_CHECK_MSG(!started_, "device already started");
     started_ = true;
   }
-  engine_->warm();
+  // Pointer under engine_mu_, pointee outside it: warm() is long and the
+  // engine is thread-safe; holding the lock across it would block stats()
+  // polls for the whole warm. No cold revive can race a first start().
+  ServeEngine* engine = nullptr;
+  {
+    MutexLock lock(engine_mu_);
+    engine = engine_.get();
+  }
+  engine->warm();
   stats_.mark_start();
   spawn_workers();
 }
 
 void ClusterDevice::spawn_workers() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CB_CHECK_MSG(workers_.empty(), "device workers already running");
   mode_ = Mode::kRunning;
   alive_ = true;
@@ -55,8 +63,8 @@ void ClusterDevice::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return mode_ != Mode::kRunning || !tasks_.empty(); });
+      UniqueLock lock(mu_);
+      while (mode_ == Mode::kRunning && tasks_.empty()) cv_.wait(lock);
       // kFailing abandons the queue (fail() strands it for the cluster to
       // re-route); kDraining runs it dry first.
       if (mode_ == Mode::kFailing) return;
@@ -73,14 +81,22 @@ void ClusterDevice::worker_loop() {
         if (*fn) (*fn)();
       }
     } run_done{&task.on_done};
-    engine_->execute_batch(std::move(task.group), task.model);
+    // The pointer read must be under engine_mu_ (a cold revive on another
+    // thread swaps it); the batch itself runs outside the lock. The pointee
+    // cannot be destroyed mid-batch: revive() requires workers_ joined.
+    ServeEngine* engine = nullptr;
+    {
+      MutexLock lock(engine_mu_);
+      engine = engine_.get();
+    }
+    engine->execute_batch(std::move(task.group), task.model);
   }
 }
 
 void ClusterDevice::join_workers() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     workers.swap(workers_);
   }
   cv_.notify_all();
@@ -89,12 +105,12 @@ void ClusterDevice::join_workers() {
 
 void ClusterDevice::drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (workers_.empty()) return;
     mode_ = Mode::kDraining;
   }
   join_workers();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   alive_ = false;
 }
 
@@ -102,7 +118,7 @@ bool ClusterDevice::enqueue(std::vector<PendingRequest>&& group,
                             const std::string& model,
                             std::function<void()> on_done) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CB_CHECK_MSG(started_, "device not started");
     // Refusal must leave `group` untouched: taking the vector by value here
     // would destroy the requests (and break their promises) the instant a
@@ -116,13 +132,13 @@ bool ClusterDevice::enqueue(std::vector<PendingRequest>&& group,
 
 std::vector<ClusterDevice::StrandedGroup> ClusterDevice::fail() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!alive_) return {};
     mode_ = Mode::kFailing;
     alive_ = false;  // enqueue() starts bouncing immediately
   }
   join_workers();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<StrandedGroup> stranded;
   stranded.reserve(tasks_.size());
   for (Task& t : tasks_)
@@ -135,7 +151,7 @@ std::vector<ClusterDevice::StrandedGroup> ClusterDevice::fail() {
 
 void ClusterDevice::revive(ReviveMode mode) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CB_CHECK_MSG(started_, "cannot revive a never-started device");
     CB_CHECK_MSG(!alive_ && workers_.empty(),
                  "revive() on a live device '" << config_.name << "'");
@@ -147,20 +163,20 @@ void ClusterDevice::revive(ReviveMode mode) {
     auto fresh = std::make_unique<ServeEngine>(
         *models_, device_engine_options(engine_opts_, config_), &stats_);
     fresh->warm();
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    MutexLock lock(engine_mu_);
     engine_ = std::move(fresh);
   }
   spawn_workers();
 }
 
 bool ClusterDevice::alive() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return alive_;
 }
 
 StatsSnapshot ClusterDevice::stats() const {
   StatsSnapshot s = stats_.snapshot();
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  MutexLock lock(engine_mu_);
   engine_->fill_stats(s);
   return s;
 }

@@ -61,22 +61,22 @@ bool Router::any_alive_locked() const {
   return false;
 }
 
+// Dead devices are invisible to both preference and placement: excluding
+// them here is what routes a dead device's traffic through the existing
+// steal path instead of a separate failover mechanism.
+bool Router::placeable(int i, bool only_available) const {
+  const DeviceState& d = devices_[static_cast<std::size_t>(i)];
+  if (!d.alive) return false;
+  return !only_available || d.pending_groups < d.entry.max_pending_groups;
+}
+
 int Router::pick(const std::string& model, bool only_available) const {
   const int n = size();
-  // Dead devices are invisible to both preference and placement: excluding
-  // them here is what routes a dead device's traffic through the existing
-  // steal path instead of a separate failover mechanism.
-  auto available = [&](int i) {
-    const DeviceState& d = devices_[static_cast<std::size_t>(i)];
-    if (!d.alive) return false;
-    return !only_available || d.pending_groups < d.entry.max_pending_groups;
-  };
-
   if (policy_ == RoutePolicy::kRoundRobin) {
     // Rotate; a saturated device passes its turn to the next one.
     for (int off = 0; off < n; ++off) {
       const int i = (rr_next_ + off) % n;
-      if (available(i)) return i;
+      if (placeable(i, only_available)) return i;
     }
     return -1;
   }
@@ -84,7 +84,7 @@ int Router::pick(const std::string& model, bool only_available) const {
   int best = -1;
   double best_score = std::numeric_limits<double>::infinity();
   for (int i = 0; i < n; ++i) {
-    if (!available(i)) continue;
+    if (!placeable(i, only_available)) continue;
     const DeviceState& d = devices_[static_cast<std::size_t>(i)];
     const double s = policy_ == RoutePolicy::kLeastLoaded
                          ? static_cast<double>(d.pending_groups)
@@ -98,23 +98,23 @@ int Router::pick(const std::string& model, bool only_available) const {
 }
 
 int Router::preferred_device(const std::string& model) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int i = pick(model, /*only_available=*/false);
   CB_CHECK_MSG(i >= 0, "no device can serve '" << model << "'");
   return i;
 }
 
 Placement Router::reserve(const std::string& model) {
-  std::unique_lock<std::mutex> lock(mu_);
-  int chosen = -1;
-  cv_.wait(lock, [&] {
+  UniqueLock lock(mu_);
+  // A fully-dead fleet blocks (a revive may restore capacity) unless the
+  // router is closing — then the caller gets device = -1 and owns the
+  // group, instead of stop() deadlocking behind a reserve() that can
+  // never succeed.
+  int chosen = pick(model, /*only_available=*/true);
+  while (chosen < 0 && !(closed_ && !any_alive_locked())) {
+    cv_.wait(lock);
     chosen = pick(model, /*only_available=*/true);
-    // A fully-dead fleet blocks (a revive may restore capacity) unless the
-    // router is closing — then the caller gets device = -1 and owns the
-    // group, instead of stop() deadlocking behind a reserve() that can
-    // never succeed.
-    return chosen >= 0 || (closed_ && !any_alive_locked());
-  });
+  }
   if (chosen < 0) return Placement{1, -1};
   // The steal counter compares against the unconstrained preference: a
   // group landing somewhere other than its best device means the fallback
@@ -142,7 +142,7 @@ Placement Router::reserve(const std::string& model) {
 
 void Router::complete(int device, const std::string& model) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CB_CHECK_MSG(device >= 0 && device < size(),
                  "complete() for unknown device " << device);
     DeviceState& d = devices_[static_cast<std::size_t>(device)];
@@ -159,7 +159,7 @@ void Router::complete(int device, const std::string& model) {
 
 void Router::set_alive(int device, bool alive) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CB_CHECK_MSG(device >= 0 && device < size(),
                  "set_alive() for unknown device " << device);
     devices_[static_cast<std::size_t>(device)].alive = alive;
@@ -170,14 +170,14 @@ void Router::set_alive(int device, bool alive) {
 }
 
 bool Router::alive(int device) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CB_CHECK_MSG(device >= 0 && device < size(),
                "alive() for unknown device " << device);
   return devices_[static_cast<std::size_t>(device)].alive;
 }
 
 void Router::update_costs(int device, std::map<std::string, ModelCost> costs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CB_CHECK_MSG(device >= 0 && device < size(),
                "update_costs() for unknown device " << device);
   CB_CHECK_MSG(!costs.empty(), "device '"
@@ -189,14 +189,14 @@ void Router::update_costs(int device, std::map<std::string, ModelCost> costs) {
 
 void Router::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 Router::Snapshot Router::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot s;
   s.stolen = stolen_;
   for (const DeviceState& d : devices_) {

@@ -24,11 +24,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "convbound/util/latency_histogram.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 #include "convbound/util/timer.hpp"
 
 namespace convbound {
@@ -88,16 +89,21 @@ class TraceRecorder {
   std::vector<TraceEvent> events() const;
 
   std::uint32_t id() const { return id_; }
-  std::size_t capacity() const { return ring_.size(); }
+  /// ring_ is sized once in the constructor and never resized, so its
+  /// *capacity* is immutable and safe to read lock-free; only the element
+  /// contents and head_ need mu_.
+  std::size_t capacity() const CB_NO_THREAD_SAFETY_ANALYSIS {
+    return ring_.size();
+  }
 
  private:
   friend class ObsRegistry;
   TraceRecorder(std::uint32_t id, std::size_t capacity);
   void clear();
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::uint64_t head_ = 0;  ///< next write position = head_ % capacity
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ CB_GUARDED_BY(mu_);
+  std::uint64_t head_ CB_GUARDED_BY(mu_) = 0;  ///< next write = head_ % cap
   std::uint32_t id_ = 0;
 };
 
@@ -196,16 +202,20 @@ class ObsRegistry {
   void set_scalar(const std::string& name, const std::string& labels,
                   double value, MetricType type, const std::string& help);
 
+  /// Relaxed by design: the flag is an on/off gate with no data published
+  /// through it (every recorder has its own mutex), and the disabled fast
+  /// path must stay one plain load + branch (bench/trace_overhead.cpp).
   static std::atomic<bool> enabled_;
 
   const TraceClock::time_point epoch_;
   const std::size_t ring_capacity_;
 
-  mutable std::mutex mu_;  ///< guards recorders_ (the list, not the rings)
-  std::vector<std::unique_ptr<TraceRecorder>> recorders_;
+  /// Guards the recorder *list*; each ring locks its own mu_.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<TraceRecorder>> recorders_ CB_GUARDED_BY(mu_);
 
-  mutable std::mutex metrics_mu_;
-  std::map<std::string, MetricFamily> metrics_;
+  mutable Mutex metrics_mu_;
+  std::map<std::string, MetricFamily> metrics_ CB_GUARDED_BY(metrics_mu_);
 };
 
 // ----- record helpers -------------------------------------------------------

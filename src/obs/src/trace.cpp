@@ -32,18 +32,18 @@ TraceRecorder::TraceRecorder(std::uint32_t id, std::size_t capacity)
 
 void TraceRecorder::record(TraceEvent e) {
   e.tid = id_;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_[head_ % ring_.size()] = e;
   ++head_;
 }
 
 std::uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return head_;
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::size_t cap = ring_.size();
   const std::size_t n = head_ < cap ? static_cast<std::size_t>(head_) : cap;
   std::vector<TraceEvent> out;
@@ -54,7 +54,7 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   head_ = 0;
 }
 
@@ -94,7 +94,7 @@ TraceRecorder& ObsRegistry::recorder() {
 }
 
 TraceRecorder& ObsRegistry::create_recorder() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint32_t id = static_cast<std::uint32_t>(recorders_.size());
   recorders_.emplace_back(new TraceRecorder(id, ring_capacity_));
   return *recorders_.back();
@@ -103,7 +103,7 @@ TraceRecorder& ObsRegistry::create_recorder() {
 std::vector<TraceEvent> ObsRegistry::events() const {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& r : recorders_) {
       std::vector<TraceEvent> part = r->events();
       all.insert(all.end(), part.begin(), part.end());
@@ -123,12 +123,12 @@ std::vector<TraceEvent> ObsRegistry::drain() {
 }
 
 void ObsRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& r : recorders_) r->clear();
 }
 
 std::size_t ObsRegistry::num_recorders() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorders_.size();
 }
 
@@ -152,7 +152,7 @@ void ObsRegistry::set_gauge(const std::string& name, const std::string& labels,
 void ObsRegistry::set_scalar(const std::string& name,
                              const std::string& labels, double value,
                              MetricType type, const std::string& help) {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   MetricFamily& fam = metrics_[name];
   fam.type = type;
   if (!help.empty()) fam.help = help;
@@ -163,7 +163,7 @@ void ObsRegistry::set_histogram(const std::string& name,
                                 const std::string& labels,
                                 const LatencyHistogram& hist,
                                 const std::string& help) {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   MetricFamily& fam = metrics_[name];
   fam.type = MetricType::kHistogram;
   if (!help.empty()) fam.help = help;
@@ -171,7 +171,7 @@ void ObsRegistry::set_histogram(const std::string& name,
 }
 
 void ObsRegistry::clear_metrics() {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   metrics_.clear();
 }
 
@@ -269,7 +269,7 @@ std::string ObsRegistry::chrome_trace_json() const {
 }
 
 void ObsRegistry::dump_metrics_text(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  MutexLock lock(metrics_mu_);
   std::string out;
   for (const auto& [name, fam] : metrics_) {
     if (!fam.help.empty()) out += "# HELP " + name + " " + fam.help + "\n";

@@ -18,13 +18,14 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "convbound/machine/sim_gpu.hpp"
 #include "convbound/plan/conv_plan.hpp"
 #include "convbound/tune/cache.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -119,8 +120,8 @@ class Planner {
   ConvPlan to_plan(const ConvShape& s, const PlanCandidate& c) const;
 
   TuneCache* cache_;
-  mutable std::mutex memo_mu_;
-  std::map<std::string, ConvPlan> memo_;
+  mutable Mutex memo_mu_;
+  std::map<std::string, ConvPlan> memo_ CB_GUARDED_BY(memo_mu_);
 };
 
 }  // namespace convbound

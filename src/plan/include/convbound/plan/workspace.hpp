@@ -17,10 +17,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "convbound/tensor/tensor.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -99,10 +100,14 @@ class Workspace {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::uint64_t acquires_ = 0;
-  std::uint64_t reuses_ = 0;
+  mutable Mutex mu_;
+  /// The slot *vector* (and the counters) are guarded; each Slot's in_use
+  /// bit is an atomic precisely so Lease::release() — which holds no lock —
+  /// can hand the buffer back while acquire() scans under mu_ (the
+  /// release/acquire pair orders the tensor contents hand-off).
+  std::vector<std::unique_ptr<Slot>> slots_ CB_GUARDED_BY(mu_);
+  std::uint64_t acquires_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t reuses_ CB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace convbound

@@ -260,7 +260,7 @@ ConvPlan Planner::plan(SimGpu& gpu, const ConvShape& s,
                        const PlannerOptions& opts) {
   const std::string key = memo_key(gpu.spec(), s, opts);
   {
-    std::lock_guard<std::mutex> lock(memo_mu_);
+    MutexLock lock(memo_mu_);
     if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
   }
   // Planning (dry runs, autotuning) happens outside the lock; when two
@@ -270,12 +270,12 @@ ConvPlan Planner::plan(SimGpu& gpu, const ConvShape& s,
   CB_CHECK_MSG(!cands.empty() && !cands.front().infeasible,
                "no feasible plan for " << s.to_string());
   const ConvPlan p = to_plan(s, cands.front());
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  MutexLock lock(memo_mu_);
   return memo_.emplace(key, p).first->second;
 }
 
 std::size_t Planner::plans_memoised() const {
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  MutexLock lock(memo_mu_);
   return memo_.size();
 }
 

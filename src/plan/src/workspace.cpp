@@ -7,7 +7,7 @@ Workspace::Lease Workspace::acquire(std::int64_t n, std::int64_t c,
                                     Layout layout) {
   CB_CHECK_MSG(n > 0 && c > 0 && h > 0 && w > 0,
                "workspace acquire with non-positive geometry");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++acquires_;
   for (auto& slot : slots_) {
     const Tensor4<float>& t = slot->tensor;
@@ -24,31 +24,32 @@ Workspace::Lease Workspace::acquire(std::int64_t n, std::int64_t c,
 }
 
 std::size_t Workspace::buffers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slots_.size();
 }
 
 std::uint64_t Workspace::acquires() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return acquires_;
 }
 
 std::uint64_t Workspace::reuses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reuses_;
 }
 
 std::uint64_t Workspace::bytes_reserved() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t bytes = 0;
   for (const auto& slot : slots_) bytes += slot->tensor.size_bytes();
   return bytes;
 }
 
 void Workspace::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& slot : slots_)
-    CB_CHECK_MSG(!slot->in_use.load(), "clearing workspace with live leases");
+    CB_CHECK_MSG(!slot->in_use.load(std::memory_order_seq_cst),
+                 "clearing workspace with live leases");
   slots_.clear();
 }
 

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +28,8 @@
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/session_pool.hpp"
 #include "convbound/serve/stats.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -106,7 +107,11 @@ class ServeEngine {
   EngineOptions opts_;
   ServerStats* stats_;
   /// The exact options warm() planned with; predicted_batch_seconds()
-  /// replays them so its plan() calls are memo hits.
+  /// replays them so its plan() calls are memo hits. Written only by
+  /// warm() before any thread serves — unguarded by design, like
+  /// buckets_/exec_buckets_ below (warm() must complete before
+  /// execute_batch()/bucket_of() may be called; the lifecycle guards in
+  /// InferenceServer::start()/ClusterDevice::start() enforce that).
   PlannerOptions plan_opts_;
   std::map<std::string, BucketChoice> buckets_;
   std::map<std::string, std::vector<std::int64_t>> exec_buckets_;
@@ -115,13 +120,16 @@ class ServeEngine {
   /// batch size, so the whole bucket ladder plans each geometry once).
   /// Declared before sessions_: sessions hold pointers into this map.
   /// planners_mu_ guards the map itself (and warm_plans_/warmed_) so a
-  /// stats() poll racing warm()'s emplaces is safe; the Planners inside are
-  /// individually thread-safe.
-  mutable std::mutex planners_mu_;
-  std::map<std::string, Planner> planners_;
+  /// stats() poll racing warm()'s emplaces is safe; the Planners inside
+  /// are individually thread-safe — which is why warm() and
+  /// predicted_batch_seconds() may legitimately take a Planner* out of
+  /// the map under the lock and keep using it after release (map nodes
+  /// are pointer-stable; only the map structure needs the lock).
+  mutable Mutex planners_mu_;
+  std::map<std::string, Planner> planners_ CB_GUARDED_BY(planners_mu_);
   SessionPool sessions_;
-  std::size_t warm_plans_ = 0;
-  bool warmed_ = false;
+  std::size_t warm_plans_ CB_GUARDED_BY(planners_mu_) = 0;
+  bool warmed_ CB_GUARDED_BY(planners_mu_) = false;
 };
 
 }  // namespace convbound

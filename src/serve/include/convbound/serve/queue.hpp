@@ -42,18 +42,18 @@
 // across shards), and sweep_expired().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "convbound/serve/request.hpp"
 #include "convbound/serve/tenancy.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -203,40 +203,54 @@ class RequestQueue {
   /// deadline is before `now`. Expired entries are a prefix of the
   /// EDF-ordered map, so this pops from the front — O(expired * log n),
   /// not a full sweep. Reports per-class counts through on_expired_.
-  /// Caller holds mu_.
-  void expire_locked(ServeTimePoint now);
+  void expire_locked(ServeTimePoint now) CB_REQUIRES(mu_);
 
-  /// Weighted-fair share of `capacity_` for class `i` (>= 1). Caller holds
-  /// mu_ (reads only immutable tenancy config, but keeps the contract
-  /// uniform).
-  std::size_t class_share(std::size_t i) const;
+  /// Weighted-fair share of `capacity_` for class `i` (>= 1). Reads only
+  /// immutable tenancy config, but keeps the caller-holds-mu_ contract
+  /// uniform across the `*_locked` helpers.
+  std::size_t class_share(std::size_t i) const CB_REQUIRES(mu_);
 
-  /// Sorted insert; caller holds mu_.
-  void insert_locked(PendingRequest&& p);
+  /// Admission predicates for push(); named helpers (not lambdas) so the
+  /// thread-safety analysis sees the held capability at every guarded read.
+  bool over_capacity_locked() const CB_REQUIRES(mu_);
+  bool over_quota_locked(std::size_t class_index) const CB_REQUIRES(mu_);
+
+  /// Sorted insert.
+  void insert_locked(PendingRequest&& p) CB_REQUIRES(mu_);
 
   /// Removes the entry at `it`, maintaining the per-model and per-class
-  /// counts; returns the moved-out request. Caller holds mu_.
-  PendingRequest remove_locked(std::map<UrgencyKey, PendingRequest>::iterator it);
+  /// counts; returns the moved-out request.
+  PendingRequest remove_locked(std::map<UrgencyKey, PendingRequest>::iterator it)
+      CB_REQUIRES(mu_);
 
-  void bump_class(std::size_t i, std::ptrdiff_t delta);
-  void notify_all();
+  void bump_class(std::size_t i, std::ptrdiff_t delta) CB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// Wakes this queue's waiters and the facade notifier. Called after the
+  /// lock is released: the notifier re-enters facade state, so calling it
+  /// under mu_ would nest foreign locks below a shard lock.
+  void notify_all() CB_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
   /// EDF order: begin() is the most urgent entry.
-  std::map<UrgencyKey, PendingRequest> items_;
-  std::uint64_t next_seq_ = 0;
+  std::map<UrgencyKey, PendingRequest> items_ CB_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ CB_GUARDED_BY(mu_) = 0;
   /// Live entries per model, so group-formation predicates are O(1)
   /// instead of an O(n) scan per cv wakeup.
-  std::map<std::string, std::size_t> model_counts_;
+  std::map<std::string, std::size_t> model_counts_ CB_GUARDED_BY(mu_);
+  /// Immutable after construction; readable without the lock.
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ CB_GUARDED_BY(mu_) = false;
+  // on_expired_ / notifier_ / table_ / congestion_ / weight_sum_ are
+  // set-once-before-threads configuration (documented on their setters):
+  // no guard, by design — after setup they are only ever read.
   std::function<void(std::size_t, std::size_t)> on_expired_;
   std::function<void()> notifier_;
   const TenantTable* table_ = nullptr;
   double congestion_ = 1.0;
   double weight_sum_ = 1.0;
-  std::vector<std::size_t> class_depth_;  ///< per-class queued counts
+  /// Per-class queued counts.
+  std::vector<std::size_t> class_depth_ CB_GUARDED_BY(mu_);
 };
 
 }  // namespace convbound

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -38,6 +37,8 @@
 #include "convbound/serve/sharded_queue.hpp"
 #include "convbound/serve/stats.hpp"
 #include "convbound/serve/tenancy.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 #include "convbound/util/thread_pool.hpp"
 
 namespace convbound {
@@ -159,9 +160,13 @@ class InferenceServer {
   ShardedRequestQueue queue_;
   std::unique_ptr<BatchScheduler> scheduler_;
   std::unique_ptr<ThreadPool> workers_;
-  std::mutex slots_mu_;
-  std::condition_variable slots_cv_;
-  int free_slots_ = 0;
+  Mutex slots_mu_;
+  CondVar slots_cv_;
+  int free_slots_ CB_GUARDED_BY(slots_mu_) = 0;
+  /// Lifecycle bits: atomics (not slots_mu_) because submit() reads
+  /// stopped_ lock-free on the hot path and stop() must be idempotent
+  /// from any thread. seq_cst: stopped_/started_ order the visibility of
+  /// scheduler_/workers_ teardown and router-style start handshakes.
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 };

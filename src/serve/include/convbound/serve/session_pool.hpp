@@ -10,11 +10,9 @@
 // busy, which bounds memory instead of growing cold sessions under load.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +20,8 @@
 #include "convbound/plan/executor.hpp"
 #include "convbound/plan/planner.hpp"
 #include "convbound/serve/model.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -114,11 +114,15 @@ class SessionPool {
     bool busy = false;
   };
 
-  void release(ServeSession* session);
+  void release(ServeSession* session) CB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, std::vector<Replica>> replicas_;  // key: model|bucket
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Key: model|bucket. The map (and every Replica's busy bit) is guarded;
+  /// the *sessions themselves* are not — a leased session is owned
+  /// exclusively by its Guard holder until release(), so the pool lock
+  /// never serializes batch execution.
+  std::map<std::string, std::vector<Replica>> replicas_ CB_GUARDED_BY(mu_);
 };
 
 }  // namespace convbound

@@ -46,17 +46,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "convbound/serve/queue.hpp"
 #include "convbound/serve/tenancy.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -134,15 +134,20 @@ class ShardedRequestQueue {
   /// Bumps the facade version and wakes cross-shard waiters. Called by
   /// every shard's notifier and after facade-side removals. Lock-free
   /// when no waiter is registered (the common case on the submit hot
-  /// path): one seq_cst increment plus one seq_cst load.
-  void notify();
+  /// path): one seq_cst increment plus one seq_cst load. CB_EXCLUDES
+  /// documents the `shard.mu_ -> wait_mu_` lock order: notify() runs
+  /// *after* a shard releases its mutex (RequestQueue::notify_all is
+  /// itself CB_EXCLUDES(mu_)), and nothing ever takes a shard mutex
+  /// while holding wait_mu_.
+  void notify() CB_EXCLUDES(wait_mu_);
 
   /// Sleeps until the version moves past `seen` (or `deadline`, when
   /// non-null). The seq_cst version/waiters pair makes this a classic
   /// eventcount: a notifier that misses the waiter count is guaranteed to
   /// have published its version bump before the waiter's predicate reads
   /// it, so no wakeup is lost.
-  void wait_version(std::uint64_t seen, const ServeTimePoint* deadline);
+  void wait_version(std::uint64_t seen, const ServeTimePoint* deadline)
+      CB_EXCLUDES(wait_mu_);
 
   /// Cross-shard counter for class `i`; out-of-range indices fold into
   /// class 0 (only reachable when callers bypass set_tenancy's contract —
@@ -172,21 +177,38 @@ class ShardedRequestQueue {
   /// Raises shard `s`'s high-water mark to `depth` (relaxed CAS loop).
   void raise_shard_hwm(std::size_t s, std::size_t depth);
 
+  // Each shard locks its own RequestQueue::mu_ internally; the facade
+  // never holds two shard mutexes at once, and never holds wait_mu_ while
+  // taking a shard mutex (lock order: shard.mu_ -> wait_mu_, enforced by
+  // the CB_EXCLUDES annotations on notify()/wait_version() — every
+  // wait_mu_ acquisition happens with no shard lock held or after the
+  // shard released it inside notify_all).
   std::vector<std::unique_ptr<RequestQueue>> shards_;
-  /// Per-shard insert-time depth maxima (see shard_max_depth).
+  /// Per-shard insert-time depth maxima (see shard_max_depth). Lock-free
+  /// by design: monotone relaxed CAS raise; exact because readmit hands
+  /// out the post-insert depth it computed under the shard lock.
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> shard_hwm_;
   const std::size_t capacity_;
 
   // Reservation counters: never exceed capacity_ / the class share.
+  // Deliberately NOT guarded by any mutex: admission is a relaxed CAS
+  // slot claim (depth_ can only move capacity-ward via a successful CAS,
+  // so it never overshoots even transiently) and the per-class counters
+  // are fetch_add reservations undone on rejection. The informal proof
+  // lives in docs/concurrency.md ("Facade reservation atomics").
   std::atomic<std::size_t> depth_{0};
   std::vector<std::unique_ptr<std::atomic<std::size_t>>> class_depth_;
 
   // Cross-shard wakeup: shards notify -> version bump; waiters sleep on
   // cv_ until the version moves. The facade mutex is only taken by
   // waiters and by notifiers that observe waiters_ > 0, so it is not on
-  // the contended submit path.
-  mutable std::mutex wait_mu_;
-  std::condition_variable cv_;
+  // the contended submit path. version_/waiters_ form the eventcount's
+  // Dekker pairing (seq_cst on both sides) and are intentionally
+  // unguarded: notify() reads waiters_ *outside* wait_mu_ — the proof
+  // that no wakeup is lost is the seq_cst ordering, not the lock
+  // (docs/concurrency.md "Eventcount").
+  mutable Mutex wait_mu_;
+  CondVar cv_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::size_t> waiters_{0};
 

@@ -19,12 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "convbound/serve/request.hpp"
 #include "convbound/util/latency_histogram.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -196,26 +197,27 @@ class ServerStats {
     LatencyHistogram batch_delay;
     LatencyHistogram exec;
   };
-  ClassCounters& class_counters(const std::string& cls);
+  ClassCounters& class_counters(const std::string& cls) CB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  ServeTimePoint start_{};
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t quota_rejected_ = 0;
-  std::uint64_t shutdown_rejected_ = 0;
-  std::uint64_t expired_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t batches_ = 0;
-  double sim_seconds_ = 0;
-  LatencyHistogram latency_;  ///< every completion, O(1) per record
-  LatencyHistogram queue_wait_;
-  LatencyHistogram batch_delay_;
-  LatencyHistogram exec_;
-  std::map<int, std::uint64_t> histogram_;
-  std::map<std::string, ClassCounters> classes_;
-  std::size_t max_queue_depth_ = 0;
+  mutable Mutex mu_;
+  ServeTimePoint start_ CB_GUARDED_BY(mu_){};
+  std::uint64_t submitted_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t quota_rejected_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t shutdown_rejected_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t expired_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ CB_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ CB_GUARDED_BY(mu_) = 0;
+  double sim_seconds_ CB_GUARDED_BY(mu_) = 0;
+  /// Every completion, O(1) per record.
+  LatencyHistogram latency_ CB_GUARDED_BY(mu_);
+  LatencyHistogram queue_wait_ CB_GUARDED_BY(mu_);
+  LatencyHistogram batch_delay_ CB_GUARDED_BY(mu_);
+  LatencyHistogram exec_ CB_GUARDED_BY(mu_);
+  std::map<int, std::uint64_t> histogram_ CB_GUARDED_BY(mu_);
+  std::map<std::string, ClassCounters> classes_ CB_GUARDED_BY(mu_);
+  std::size_t max_queue_depth_ CB_GUARDED_BY(mu_) = 0;
 };
 
 /// Lock-striped server stats for the sharded front door: one ServerStats
@@ -252,7 +254,9 @@ class StripedServerStats {
   StatsSnapshot snapshot() const;
 
  private:
-  /// [0, n) submit stripes, [n] exec stripe.
+  /// [0, n) submit stripes, [n] exec stripe. The vector itself is
+  /// immutable after construction (no facade lock, by design — that is
+  /// the whole point of striping); each stripe locks its own mu_.
   std::vector<std::unique_ptr<ServerStats>> stripes_;
 };
 

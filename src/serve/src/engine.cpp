@@ -26,7 +26,7 @@ ServeEngine::ServeEngine(const std::map<std::string, ServedModel>& models,
 
 void ServeEngine::warm() {
   {
-    std::lock_guard<std::mutex> lock(planners_mu_);
+    MutexLock lock(planners_mu_);
     CB_CHECK_MSG(!warmed_ && planners_.empty(), "engine already warmed");
   }
   PlannerOptions popts;
@@ -72,7 +72,7 @@ void ServeEngine::warm() {
 
     Planner* planner = nullptr;
     {
-      std::lock_guard<std::mutex> lock(planners_mu_);
+      MutexLock lock(planners_mu_);
       planner = &planners_
                      .emplace(std::piecewise_construct,
                               std::forward_as_tuple(name),
@@ -89,7 +89,7 @@ void ServeEngine::warm() {
   for (auto& session : fresh) sessions_.add(std::move(session));
   {
     const std::size_t warm = plans_memoised();
-    std::lock_guard<std::mutex> lock(planners_mu_);
+    MutexLock lock(planners_mu_);
     warm_plans_ = warm;
     warmed_ = true;
   }
@@ -236,7 +236,7 @@ double ServeEngine::predicted_batch_seconds(const std::string& name) {
   const std::int64_t bucket = bucket_of(name);
   Planner* planner = nullptr;
   {
-    std::lock_guard<std::mutex> lock(planners_mu_);
+    MutexLock lock(planners_mu_);
     const auto it = planners_.find(name);
     CB_CHECK_MSG(it != planners_.end(),
                  "no planner for '" << name << "' (engine not warmed)");
@@ -256,7 +256,7 @@ double ServeEngine::predicted_batch_seconds(const std::string& name) {
 }
 
 std::size_t ServeEngine::plans_memoised() const {
-  std::lock_guard<std::mutex> lock(planners_mu_);
+  MutexLock lock(planners_mu_);
   std::size_t n = 0;
   for (const auto& [name, planner] : planners_) n += planner.plans_memoised();
   return n;
@@ -267,7 +267,7 @@ void ServeEngine::fill_stats(StatsSnapshot& s) const {
   std::size_t warm_plans = 0;
   bool warmed = false;
   {
-    std::lock_guard<std::mutex> lock(planners_mu_);
+    MutexLock lock(planners_mu_);
     warm_plans = warm_plans_;
     warmed = warmed_;
   }

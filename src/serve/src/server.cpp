@@ -30,8 +30,10 @@ InferenceServer::InferenceServer(std::vector<ServedModel> models,
 InferenceServer::~InferenceServer() { stop(); }
 
 void InferenceServer::start() {
-  CB_CHECK_MSG(!stopped_, "server cannot restart after stop()");
-  CB_CHECK_MSG(!started_, "server already started");
+  CB_CHECK_MSG(!stopped_.load(std::memory_order_seq_cst),
+               "server cannot restart after stop()");
+  CB_CHECK_MSG(!started_.load(std::memory_order_seq_cst),
+               "server already started");
   engine_.warm();
   // Memo-hit replay of the warm plans: one lookup table for the placement
   // trace events instead of a predicted_batch_seconds() call per group.
@@ -62,12 +64,12 @@ void InferenceServer::start() {
             });
       });
   stats_.mark_start();
-  started_ = true;
+  started_.store(true, std::memory_order_seq_cst);
   scheduler_->start();
 }
 
 void InferenceServer::stop() {
-  if (stopped_.exchange(true)) return;
+  if (stopped_.exchange(true, std::memory_order_seq_cst)) return;
   queue_.close();
   // The scheduler drains the closed queue (collect returns immediately once
   // closed), dispatching every remaining group, then exits.
@@ -106,7 +108,7 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
   ServerStats& stripe =
       stats_.stripe(queue_.shard_of(p.request.model, p.class_index));
 
-  if (stopped_) {
+  if (stopped_.load(std::memory_order_seq_cst)) {
     InferResponse r;
     r.status = ServeStatus::kShutdown;
     stripe.record_shutdown_rejected(cls);
@@ -159,14 +161,14 @@ std::future<InferResponse> InferenceServer::submit(InferRequest request) {
 }
 
 void InferenceServer::wait_for_slot() {
-  std::unique_lock<std::mutex> lock(slots_mu_);
-  slots_cv_.wait(lock, [this] { return free_slots_ > 0; });
+  UniqueLock lock(slots_mu_);
+  while (free_slots_ <= 0) slots_cv_.wait(lock);
   --free_slots_;
 }
 
 void InferenceServer::release_slot() {
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(slots_mu_);
     ++free_slots_;
   }
   slots_cv_.notify_one();

@@ -81,14 +81,14 @@ void SessionPool::add(std::unique_ptr<ServeSession> session) {
   CB_CHECK(session != nullptr);
   const std::string key =
       pool_key(session->model().name, session->bucket());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   replicas_[key].push_back(Replica{std::move(session), false});
 }
 
 SessionPool::Guard SessionPool::acquire(const std::string& model,
                                         std::int64_t bucket) {
   const std::string key = pool_key(model, bucket);
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   const auto it = replicas_.find(key);
   CB_CHECK_MSG(it != replicas_.end(),
                "no session registered for " << key);
@@ -105,7 +105,7 @@ SessionPool::Guard SessionPool::acquire(const std::string& model,
 
 void SessionPool::release(ServeSession* session) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [key, reps] : replicas_) {
       for (auto& r : reps) {
         if (r.session.get() == session) {
@@ -120,14 +120,14 @@ void SessionPool::release(ServeSession* session) {
 }
 
 std::size_t SessionPool::sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [key, reps] : replicas_) n += reps.size();
   return n;
 }
 
 std::size_t SessionPool::workspace_buffers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [key, reps] : replicas_)
     for (const auto& r : reps) n += r.session->workspace().buffers();
@@ -135,7 +135,7 @@ std::size_t SessionPool::workspace_buffers() const {
 }
 
 std::uint64_t SessionPool::workspace_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t n = 0;
   for (const auto& [key, reps] : replicas_)
     for (const auto& r : reps) n += r.session->workspace().bytes_reserved();

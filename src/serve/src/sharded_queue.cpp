@@ -56,22 +56,22 @@ void ShardedRequestQueue::notify() {
     // The lock pairs with wait_version's locked predicate check: without
     // it a waiter could pass the predicate and sleep after this
     // notify_all already fired.
-    std::lock_guard<std::mutex> lock(wait_mu_);
+    MutexLock lock(wait_mu_);
     cv_.notify_all();
   }
 }
 
 void ShardedRequestQueue::wait_version(std::uint64_t seen,
                                        const ServeTimePoint* deadline) {
-  std::unique_lock<std::mutex> lock(wait_mu_);
+  UniqueLock lock(wait_mu_);
   waiters_.fetch_add(1, std::memory_order_seq_cst);
-  const auto moved = [&] {
-    return version_.load(std::memory_order_seq_cst) != seen;
-  };
-  if (deadline)
-    cv_.wait_until(lock, *deadline, moved);
-  else
-    cv_.wait(lock, moved);
+  while (version_.load(std::memory_order_seq_cst) == seen) {
+    if (deadline) {
+      if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout) break;
+    } else {
+      cv_.wait(lock);
+    }
+  }
   waiters_.fetch_sub(1, std::memory_order_seq_cst);
 }
 

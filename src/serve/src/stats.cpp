@@ -135,7 +135,7 @@ StatsSnapshot merge_snapshots(const std::vector<StatsSnapshot>& parts) {
 }
 
 void ServerStats::mark_start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   start_ = ServeClock::now();
 }
 
@@ -146,14 +146,14 @@ ServerStats::ClassCounters& ServerStats::class_counters(
 
 void ServerStats::record_submitted(std::size_t queue_depth_after,
                                    const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
   if (!cls.empty()) ++class_counters(cls).submitted;
 }
 
 void ServerStats::record_rejected(const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   ++rejected_;
   if (!cls.empty()) {
@@ -164,7 +164,7 @@ void ServerStats::record_rejected(const std::string& cls) {
 }
 
 void ServerStats::record_quota_rejected(const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   ++quota_rejected_;
   if (!cls.empty()) {
@@ -175,7 +175,7 @@ void ServerStats::record_quota_rejected(const std::string& cls) {
 }
 
 void ServerStats::record_shutdown_rejected(const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
   ++shutdown_rejected_;
   if (!cls.empty()) {
@@ -186,13 +186,13 @@ void ServerStats::record_shutdown_rejected(const std::string& cls) {
 }
 
 void ServerStats::record_expired(std::size_t n, const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   expired_ += n;
   if (!cls.empty()) class_counters(cls).expired += n;
 }
 
 void ServerStats::record_failed(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   failed_ += n;
 }
 
@@ -200,7 +200,7 @@ void ServerStats::record_batch(std::size_t group, double sim_seconds,
                                const std::vector<double>& latencies,
                                const std::vector<std::string>& classes,
                                const std::vector<StageLatencies>& stages) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++batches_;
   sim_seconds_ += sim_seconds;
   ++histogram_[static_cast<int>(group)];
@@ -227,7 +227,7 @@ void ServerStats::record_batch(std::size_t group, double sim_seconds,
 }
 
 StatsSnapshot ServerStats::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StatsSnapshot s;
   s.submitted = submitted_;
   s.completed = completed_;

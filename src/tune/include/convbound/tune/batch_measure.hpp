@@ -31,7 +31,9 @@ class BatchMeasurer : public Measurer {
       const std::vector<ConvConfig>& cfgs) override;
 
   const SearchDomain& domain() const override { return domain_; }
-  std::uint64_t trials() const override { return trials_.load(); }
+  std::uint64_t trials() const override {
+    return trials_.load(std::memory_order_relaxed);
+  }
   int workers() const { return static_cast<int>(workers_.size()); }
 
  private:

@@ -14,12 +14,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "convbound/conv/conv_config.hpp"
 #include "convbound/machine/machine_spec.hpp"
+#include "convbound/util/mutex.hpp"
+#include "convbound/util/thread_annotations.hpp"
 
 namespace convbound {
 
@@ -56,8 +57,8 @@ class TuneCache {
   void merge(const TuneCache& other);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ CB_GUARDED_BY(mu_);
 };
 
 }  // namespace convbound

@@ -36,7 +36,7 @@ std::vector<Measurement> BatchMeasurer::measure_batch(
     for (std::size_t i = lo; i < hi; ++i)
       results[i] = measure_config(wk.gpu, domain_, *inputs_, wk.out, cfgs[i]);
   });
-  trials_ += cfgs.size();
+  trials_.fetch_add(cfgs.size(), std::memory_order_relaxed);
   return results;
 }
 

@@ -8,13 +8,13 @@
 namespace convbound {
 
 TuneCache::TuneCache(const TuneCache& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   entries_ = other.entries_;
 }
 
 TuneCache& TuneCache::operator=(const TuneCache& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
+  MutexPairLock lock(mu_, other.mu_);
   entries_ = other.entries_;
   return *this;
 }
@@ -33,7 +33,7 @@ void TuneCache::put(const std::string& key, const Entry& entry, bool force) {
   CB_CHECK_MSG(key.find('|') == std::string::npos &&
                    key.find('\n') == std::string::npos,
                "cache key must not contain '|' or newlines");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end() || force || entry.gflops > it->second.gflops) {
     entries_[key] = entry;
@@ -41,20 +41,20 @@ void TuneCache::put(const std::string& key, const Entry& entry, bool force) {
 }
 
 std::optional<TuneCache::Entry> TuneCache::get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 std::size_t TuneCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string TuneCache::serialize() const {
   std::ostringstream os;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, e] : entries_) {
     // ConvConfig::key() is the canonical field order the parser below reads.
     os << key << '|' << e.config.key() << '|' << e.gflops << '\n';
@@ -111,7 +111,7 @@ void TuneCache::merge(const TuneCache& other) {
   // better-entry-wins rule applies without holding both locks at once.
   std::map<std::string, Entry> src;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(other.mu_);
     src = other.entries_;
   }
   for (const auto& [key, e] : src) put(key, e);

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t n) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

@@ -467,6 +467,60 @@ TEST(Cluster, WarmAndColdReviveRestoreServingWithoutPlanMisses) {
   cluster.stop();
 }
 
+TEST(Cluster, EngineSwapUnderTraffic) {
+  // Regression for an unlocked engine-pointer read: ClusterDevice workers,
+  // start(), and the engine()/stats() accessors used to read `engine_`
+  // without engine_mu_, racing the cold revive's unique_ptr swap — a torn
+  // read or use-after-free TSan flags and -Wthread-safety now rejects at
+  // compile time (the member is CB_GUARDED_BY(engine_mu_)). Drive constant
+  // traffic and stats polling while a chaos thread repeatedly fail()s and
+  // cold-revives a device, so the swap lands under both kinds of readers.
+  auto models = tiny_models();
+  ClusterServer cluster(models, hetero_options());
+  cluster.start();
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ClusterSnapshot snap = cluster.stats();
+      EXPECT_GE(snap.devices.size(), 2u);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::future<InferResponse>> futs;
+  std::vector<Tensor4<float>> inputs;
+  constexpr int kColdRevives = 3;
+  constexpr int kPerRound = 12;
+  for (int round = 0; round < kColdRevives; ++round) {
+    for (int i = 0; i < kPerRound; ++i) {
+      const int r = round * kPerRound + i;
+      const ServedModel& m = models[r % models.size()];
+      inputs.push_back(make_request_input(m, 3000u + r));
+      futs.push_back(cluster.submit({m.name, inputs.back()}));
+    }
+    // The swap itself: engine_ is destroyed and rebuilt while the poller
+    // reads device stats and the surviving devices execute batches.
+    cluster.fail_device(1);
+    cluster.revive_device(1, ReviveMode::kCold);
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const InferResponse r = futs[i].get();
+    ASSERT_EQ(r.status, ServeStatus::kOk) << "request " << i;
+    const ServedModel& m = models[i % models.size()];
+    ASSERT_TRUE(allclose(reference_run(m, inputs[i]), r.output, 1e-3, 1e-3))
+        << "request " << i;
+  }
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  const ClusterSnapshot s = cluster.stats();
+  EXPECT_EQ(s.device_failures, static_cast<std::uint64_t>(kColdRevives));
+  EXPECT_EQ(s.device_revives, static_cast<std::uint64_t>(kColdRevives));
+  EXPECT_EQ(s.fleet.completed, futs.size());
+  cluster.stop();
+}
+
 // ------------------------------------------------- submit-vs-stop race ----
 
 TEST(Cluster, SubmitRacingStopAlwaysResolves) {

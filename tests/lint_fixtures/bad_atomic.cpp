@@ -1,0 +1,32 @@
+// Fixture: atomic accesses without an explicit std::memory_order.
+// Expected findings:
+//   - stopped_.load()            -> atomic-order (and --fix-able)
+//   - started_.store(true)       -> atomic-order (and --fix-able)
+//   - counter_.fetch_add(1)      -> atomic-order (not auto-fixed)
+//   - `if (stopped_)`            -> implicit atomic access
+//   - `++counter_`               -> implicit atomic access
+// Explicit-order calls and the non-atomic `ctx.store(...)` helper call
+// must NOT be flagged.
+#include <atomic>
+
+struct Ctx {
+  void store(int, int) {}
+};
+
+struct Server {
+  bool running() const { return !stopped_.load(); }
+  void start() { started_.store(true); }
+  void bump() { counter_.fetch_add(1); }
+  void implicit() {
+    if (stopped_) return;
+    ++counter_;
+  }
+  void fine(Ctx& ctx) {
+    stopped_.store(true, std::memory_order_seq_cst);
+    (void)counter_.load(std::memory_order_relaxed);
+    ctx.store(1, 2);  // ok: not an atomic — Ctx::store is a plain method
+  }
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<long> counter_{0};
+};

@@ -1,0 +1,23 @@
+// Fixture: CB_CHECK/CB_ASSERT contract violations.
+// Expected findings:
+//   - CB_CHECK(n > 0 << "msg")   -> check-contract (streamed message)
+//   - CB_ASSERT(p << "null")     -> check-contract (streamed message)
+//   - CB_CHECK in ~Holder()      -> check-contract (throw in dtor)
+// Legit uses (bare CB_CHECK, CB_CHECK_MSG with a stream, a genuine
+// bit-shift condition, CB_ASSERT in a dtor) must NOT be flagged.
+#include "convbound/util/check.hpp"
+
+struct Holder {
+  ~Holder() {
+    CB_CHECK(closed_);  // finding: throwing check in a destructor
+    CB_ASSERT(refs_ == 0);  // ok: aborts, never throws
+  }
+  void set(int n, void* p) {
+    CB_CHECK(n > 0 << "n must be positive");  // finding: streamed message
+    CB_ASSERT(p << "p must not be null");  // finding: streamed message
+    CB_CHECK_MSG(n < 64, "n=" << n);  // ok: _MSG takes a stream
+    CB_CHECK((n << 2) < 256);  // ok: genuine bit shift, no string literal
+  }
+  bool closed_ = false;
+  int refs_ = 0;
+};

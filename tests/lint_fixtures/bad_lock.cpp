@@ -1,0 +1,26 @@
+// Fixture: manual lock()/unlock() on a mutex-named receiver.
+// Expected findings: 4x bare-lock (mu_.lock, mu_.unlock,
+// stats_mutex->try_lock, stats_mutex->unlock). The RAII guard call
+// `guard.unlock()` must NOT be flagged (receiver is not a mutex).
+#include <mutex>
+
+struct Widget {
+  void poke() {
+    mu_.lock();  // finding: bare-lock
+    ++count_;
+    mu_.unlock();  // finding: bare-lock
+  }
+  bool try_poke(std::mutex* stats_mutex) {
+    if (stats_mutex->try_lock()) {  // finding: bare-lock
+      stats_mutex->unlock();  // finding: bare-lock
+      return true;
+    }
+    return false;
+  }
+  void fine() {
+    std::unique_lock<std::mutex> guard(mu_);
+    guard.unlock();  // ok: RAII guard, not a mutex
+  }
+  std::mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,14 @@
+// Fixture: --fix input. Defaulted load()/store() calls are rewritten to
+// explicit std::memory_order_seq_cst; fetch_add and implicit touches are
+// reported but left alone (relaxing them is a human decision).
+#include <atomic>
+
+struct Flags {
+  bool get() const { return v_.load(); }
+  void set(bool b) { v_.store(b); }
+  void set_ticket(int t) { ticket_.store(t + 1); }
+  long bump() { return ticket_.fetch_add(1); }
+  bool ok() const { return v_.load(std::memory_order_acquire); }
+  std::atomic<bool> v_{false};
+  std::atomic<long> ticket_{0};
+};

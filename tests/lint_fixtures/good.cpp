@@ -1,0 +1,32 @@
+// Fixture: idiomatic convbound concurrency code. Zero findings expected.
+// Exercises the patterns most likely to false-positive:
+//   - RAII guards (MutexLock-style) including guard.unlock() mid-scope
+//   - explicit memory orders on every atomic touch
+//   - atomic names mentioned in comments and strings ("stopped_.load()")
+//   - bit shifts inside CB_CHECK conditions
+#include <atomic>
+#include <mutex>
+
+#include "convbound/util/check.hpp"
+
+struct Pool {
+  void drain() {
+    std::unique_lock<std::mutex> lock(m_);
+    lock.unlock();  // ok: guard object
+    // stopped_.load() in this comment must not be flagged; neither must
+    // the string below.
+    last_error_ = "stopped_ was set";  // plain string mentioning an atomic
+    stopped_.store(true, std::memory_order_seq_cst);
+    while (!done_.load(std::memory_order_acquire)) {
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CB_CHECK((1 << 4) == 16);
+    CB_CHECK_MSG(hits_.load(std::memory_order_relaxed) >= 0,
+                 "hits=" << hits_.load(std::memory_order_relaxed));
+  }
+  std::mutex m_;
+  const char* last_error_ = nullptr;
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<long> hits_{0};
+};

@@ -1,0 +1,24 @@
+// Compile-only proof that the thread-safety annotations are load-bearing.
+//
+// This TU is never linked into anything. CMake compiles it twice via
+// try_compile when CONVBOUND_THREAD_SAFETY=ON under clang:
+//
+//   1. as-is                          -> must COMPILE (the annotated queue
+//                                        is warning-clean under
+//                                        -Werror=thread-safety)
+//   2. -DCONVBOUND_TSA_STRIP_REQUIRES -> must FAIL: the macro hook in
+//                                        thread_annotations.hpp erases every
+//                                        CB_REQUIRES, so RequestQueue's
+//                                        *_locked helpers no longer declare
+//                                        they need mu_ — and their bodies,
+//                                        which touch mu_-guarded members,
+//                                        trip -Wthread-safety.
+//
+// If a refactor ever neuters the analysis (no-op macros under clang, a
+// dropped -Wthread-safety flag, un-annotated members), case 2 starts
+// compiling and the configure step aborts — the annotations cannot rot
+// silently.
+//
+// RequestQueue is the subject because it is the most annotation-dense type:
+// guarded members, CB_REQUIRES helpers, and a CB_EXCLUDES notifier.
+#include "queue.cpp"  // src/serve/src, on the include path for this TU only

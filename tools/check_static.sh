@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# One-command local repro of the static-analysis CI job (docs/ci.md):
+#
+#   1. clang build with CONVBOUND_THREAD_SAFETY=ON
+#      (-Wthread-safety -Werror=thread-safety + the negative compile check
+#      that proves the annotations are load-bearing)
+#   2. clang-tidy over every TU in src/ using the .clang-tidy profile
+#   3. tools/lint_convbound.py over src/, tools/convbound_cli.cpp, bench/
+#
+# Needs clang + clang-tidy on PATH (steps that lack their tool are skipped
+# with a warning so the linter still runs on gcc-only boxes).
+#
+#   tools/check_static.sh [build-dir]     # default: build-static
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-static}"
+
+status=0
+
+if command -v clang++ >/dev/null; then
+  echo "== [1/3] clang thread-safety build (CONVBOUND_THREAD_SAFETY=ON)"
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCONVBOUND_THREAD_SAFETY=ON -DCONVBOUND_WERROR=ON
+  cmake --build "$BUILD" -j
+else
+  echo "WARNING: clang++ not found - skipping thread-safety build" >&2
+  status=1
+fi
+
+if command -v clang-tidy >/dev/null && [ -f "$BUILD/compile_commands.json" ]; then
+  echo "== [2/3] clang-tidy over src/"
+  # run-clang-tidy parallelizes across TUs; fall back to a serial loop when
+  # only the bare clang-tidy binary is installed.
+  if command -v run-clang-tidy >/dev/null; then
+    run-clang-tidy -p "$BUILD" -quiet "$(pwd)/src/.*\.cpp$"
+  else
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n1 -P"$(nproc)" clang-tidy -p "$BUILD" --quiet
+  fi
+else
+  echo "WARNING: clang-tidy (or compile_commands.json) missing - skipping" >&2
+  status=1
+fi
+
+echo "== [3/3] project linter (tools/lint_convbound.py)"
+python3 tools/lint_convbound.py src tools/convbound_cli.cpp bench
+
+if [ "$status" -ne 0 ]; then
+  echo "NOTE: some steps were skipped (missing tools); CI runs all three." >&2
+fi
+exit "$status"

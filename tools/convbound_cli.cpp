@@ -486,7 +486,7 @@ int cmd_serve(const Args& a) {
                 .submit({m.name, make_request_input(m, 7000u * c + i)})
                 .get();
         if (r.status != ServeStatus::kOk) {
-          ++failures;
+          failures.fetch_add(1, std::memory_order_relaxed);
           std::fprintf(stderr, "request failed: %s %s\n",
                        to_string(r.status), r.error.c_str());
         }
@@ -544,9 +544,9 @@ int cmd_serve(const Args& a) {
     hist += " " + std::to_string(size) + "x" + std::to_string(count);
   std::printf("%s\n", hist.c_str());
   dump_observability(a, s, "serve");
-  if (failures.load() > 0)
-    std::fprintf(stderr, "%d requests failed\n", failures.load());
-  return failures.load() == 0 && s.plan_misses_after_warm == 0 ? 0 : 1;
+  if (failures.load(std::memory_order_relaxed) > 0)
+    std::fprintf(stderr, "%d requests failed\n", failures.load(std::memory_order_relaxed));
+  return failures.load(std::memory_order_relaxed) == 0 && s.plan_misses_after_warm == 0 ? 0 : 1;
 }
 
 int cmd_cluster(const Args& a) {
@@ -657,9 +657,9 @@ int cmd_cluster(const Args& a) {
                               r.status == ServeStatus::kRejected ||
                               r.status == ServeStatus::kDeadlineExceeded);
         if (is_shed) {
-          ++shed;
+          shed.fetch_add(1, std::memory_order_relaxed);
         } else {
-          ++failures;
+          failures.fetch_add(1, std::memory_order_relaxed);
           std::fprintf(stderr, "request failed: %s %s\n",
                        to_string(r.status), r.error.c_str());
         }
@@ -755,12 +755,12 @@ int cmd_cluster(const Args& a) {
   std::printf("%s", t.to_string().c_str());
   dump_observability(a, s.fleet, "cluster");
 
-  if (shed.load() > 0)
+  if (shed.load(std::memory_order_relaxed) > 0)
     std::printf("%d requests shed (quota / backpressure / budget)\n",
-                shed.load());
-  if (failures.load() > 0)
-    std::fprintf(stderr, "%d requests failed\n", failures.load());
-  return failures.load() == 0 && plan_misses == 0 ? 0 : 1;
+                shed.load(std::memory_order_relaxed));
+  if (failures.load(std::memory_order_relaxed) > 0)
+    std::fprintf(stderr, "%d requests failed\n", failures.load(std::memory_order_relaxed));
+  return failures.load(std::memory_order_relaxed) == 0 && plan_misses == 0 ? 0 : 1;
 }
 
 int cmd_models(const Args& a) {

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""Project-specific static checks for convbound.
+
+Complements the compiler-side analyses (clang -Wthread-safety, clang-tidy)
+with rules those tools cannot express because they encode *project*
+conventions, not C++ semantics:
+
+  bare-lock      Manual mu.lock()/mu.unlock()/mu.try_lock() on a
+                 mutex-named receiver. All locking goes through the RAII
+                 helpers in convbound/util/mutex.hpp (the only file allowed
+                 to touch a raw mutex) so clang's thread-safety analysis
+                 sees every acquire/release.
+
+  atomic-order   Every std::atomic access must name an explicit
+                 std::memory_order. Defaulted seq_cst hides the author's
+                 intent (was seq_cst chosen, or merely inherited?), and
+                 implicit reads/writes (`if (stopped_)`, `++counter_`,
+                 `flag_ = true`) hide that an atomic is involved at all.
+                 `--fix` rewrites defaulted load()/store() calls to explicit
+                 std::memory_order_seq_cst (the semantics-preserving
+                 spelling; relaxing further stays a human decision).
+
+  check-contract CB_CHECK/CB_ASSERT must match check.hpp's
+                 exception-vs-terminate contract: CB_CHECK/CB_ASSERT take a
+                 bare condition (streaming `<< "msg"` into them turns the
+                 message into a shift operand — use CB_CHECK_MSG); throwing
+                 checks (CB_CHECK*) must not run inside destructors, where
+                 an escaping exception is std::terminate (use CB_ASSERT).
+
+  bench-gates    Every metric referenced by bench/baselines/gates.json must
+                 appear as a string literal in the bench source that emits
+                 the gated JSON file — a renamed metric otherwise passes CI
+                 silently (bench_compare treats a missing metric as a config
+                 error only at gate time, long after the rename landed).
+
+Usage:
+  tools/lint_convbound.py [--fix] [--gates bench/baselines/gates.json] PATH...
+
+PATHs are files or directories (searched for *.cpp/*.hpp). Exits non-zero
+when any finding remains.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# The one file allowed to operate on raw std::mutex: the annotated RAII
+# wrapper layer itself.
+BARE_LOCK_ALLOWLIST = ("util/mutex.hpp",)
+
+ATOMIC_METHODS = (
+    "load|store|exchange|fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|"
+    "compare_exchange_weak|compare_exchange_strong"
+)
+
+ATOMIC_DECL_RE = re.compile(
+    r"std::atomic<[^<>;]*(?:<[^<>]*>)?[^<>;]*>\s+(\w+)\s*(?:\{|=|;)")
+LOCK_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*(lock|unlock|try_lock)\s*\(")
+DTOR_RE = re.compile(r"~\w+\s*\([^)]*\)\s*(?:noexcept[^{;]*)?\{")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal *contents* (delimiters stay),
+    preserving length and newlines so offsets and line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def balanced_args(text, open_paren):
+    """Returns (args, end) for the parenthesized list starting at
+    text[open_paren] == '('; end is the index of the closing ')'."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i], i
+    return text[open_paren + 1:], len(text)
+
+
+# ---------------------------------------------------------------- rules ----
+
+
+def check_bare_locks(path, stripped):
+    if path.replace(os.sep, "/").endswith(BARE_LOCK_ALLOWLIST):
+        return []
+    findings = []
+    for m in LOCK_CALL_RE.finditer(stripped):
+        receiver, method = m.group(1), m.group(2)
+        if "mu" not in receiver.lower() and "mutex" not in receiver.lower():
+            continue  # RAII guard objects ("lock.unlock()") are the helpers
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "bare-lock",
+            f"manual {receiver}.{method}() — use MutexLock/UniqueLock from "
+            "convbound/util/mutex.hpp so the thread-safety analysis sees "
+            "the acquire/release"))
+    return findings
+
+
+def paired_header(path):
+    """src/<mod>/src/foo.cpp -> src/<mod>/include/convbound/<mod>/foo.hpp"""
+    norm = path.replace(os.sep, "/")
+    m = re.search(r"(.*)/([^/]+)/src/([^/]+)\.cpp$", norm)
+    if not m:
+        return None
+    root, mod, stem = m.groups()
+    cand = f"{root}/{mod}/include/convbound/{mod}/{stem}.hpp"
+    return cand if os.path.exists(cand) else None
+
+
+def atomic_names(stripped_texts):
+    names = set()
+    for text in stripped_texts:
+        for m in ATOMIC_DECL_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def check_atomic_orders(path, stripped, names, fixes):
+    """Flags atomic accesses without an explicit memory order. Appends
+    (start, end, replacement) spans to `fixes` for --fix-able cases."""
+    findings = []
+    if not names:
+        return findings
+    method_re = re.compile(
+        r"\b(" + "|".join(re.escape(n) for n in names) +
+        r")\s*(?:\.|->)\s*(" + ATOMIC_METHODS + r")\s*\(")
+    spans = []  # offsets covered by a method call (incl. args)
+    for m in method_re.finditer(stripped):
+        name, method = m.group(1), m.group(2)
+        open_paren = stripped.index("(", m.end() - 1)
+        args, close = balanced_args(stripped, open_paren)
+        spans.append((m.start(), close + 1))
+        if "memory_order" in args:
+            continue
+        ln = line_of(stripped, m.start())
+        findings.append(Finding(
+            path, ln, "atomic-order",
+            f"{name}.{method}({args.strip()}) without an explicit "
+            "std::memory_order"))
+        if method == "load" and args.strip() == "":
+            fixes.append((open_paren + 1, close,
+                          "std::memory_order_seq_cst"))
+        elif method == "store" and args.strip() != "":
+            fixes.append((close, close,
+                          ", std::memory_order_seq_cst"))
+    # Implicit touches: a bare use of the atomic's name that is not a
+    # method call (operator++, operator=, contextual bool conversion, ...).
+    bare_re = re.compile(
+        r"(?<![\w.>])(" + "|".join(re.escape(n) for n in names) + r")\b")
+    for m in bare_re.finditer(stripped):
+        if any(s <= m.start() < e for s, e in spans):
+            continue
+        after = stripped[m.end():m.end() + 32].lstrip()
+        if after.startswith(".") or after.startswith("->"):
+            continue  # start of a (possibly flagged-above) method call
+        line_start = stripped.rfind("\n", 0, m.start()) + 1
+        line_end = stripped.find("\n", m.start())
+        line_text = stripped[line_start:line_end if line_end >= 0 else None]
+        if "std::atomic" in line_text or "atomic<" in line_text:
+            continue  # the declaration itself
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "atomic-order",
+            f"implicit atomic access of '{m.group(1)}' — spell it as "
+            "load()/store()/fetch_*() with an explicit std::memory_order"))
+    return findings
+
+
+def check_check_contract(path, text, stripped):
+    findings = []
+    # Streaming into the non-_MSG macros: only flag a `<<` that feeds a
+    # string literal (checked against the raw text), so legitimate bit
+    # shifts in conditions stay legal.
+    for macro in ("CB_CHECK", "CB_ASSERT"):
+        for m in re.finditer(r"\b" + macro + r"\s*\(", stripped):
+            if stripped[m.end() - 1 - len(macro) - 16:m.start()].rstrip() \
+                    .endswith("#define"):
+                continue
+            if macro == "CB_CHECK" and \
+                    stripped[m.end():m.end() + 4].startswith("_MSG"):
+                continue
+            args, close = balanced_args(stripped, m.end() - 1)
+            raw_args = text[m.end():close]
+            if re.search(r"<<\s*\"", raw_args):
+                findings.append(Finding(
+                    path, line_of(stripped, m.start()), "check-contract",
+                    f"{macro} takes a bare condition; the streamed message "
+                    "becomes a shift operand — use CB_CHECK_MSG"))
+    # Throwing checks in destructors -> std::terminate.
+    for m in DTOR_RE.finditer(stripped):
+        open_brace = stripped.index("{", m.end() - 1)
+        depth, i = 0, open_brace
+        while i < len(stripped):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        body = stripped[open_brace:i]
+        cm = re.search(r"\bCB_CHECK(_MSG)?\s*\(", body)
+        if cm:
+            findings.append(Finding(
+                path, line_of(stripped, open_brace + cm.start()),
+                "check-contract",
+                "CB_CHECK in a destructor throws convbound::Error out of a "
+                "dtor (std::terminate) — use CB_ASSERT for invariants here"))
+    return findings
+
+
+def check_bench_gates(gates_path):
+    findings = []
+    try:
+        with open(gates_path) as f:
+            gates = json.load(f)
+    except (OSError, ValueError) as e:
+        return [Finding(gates_path, 1, "bench-gates",
+                        f"cannot parse gates file: {e}")]
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(gates_path))))
+    sources = {}
+    for gate in gates.get("gates", []):
+        fname, metric = gate.get("file", ""), gate.get("metric", "")
+        m = re.match(r"BENCH_(\w+)\.json$", fname)
+        if not m:
+            findings.append(Finding(gates_path, 1, "bench-gates",
+                                    f"unrecognized gated file '{fname}'"))
+            continue
+        src = os.path.join(bench_dir, m.group(1) + ".cpp")
+        if src not in sources:
+            try:
+                with open(src) as f:
+                    sources[src] = f.read()
+            except OSError:
+                sources[src] = None
+        if sources[src] is None:
+            findings.append(Finding(
+                gates_path, 1, "bench-gates",
+                f"gated file '{fname}' has no bench source {src}"))
+            continue
+        if f'"{metric}"' not in sources[src]:
+            findings.append(Finding(
+                src, 1, "bench-gates",
+                f"gated metric '{metric}' (from {os.path.basename(gates_path)}"
+                f" / {fname}) is not emitted as a string literal here — "
+                "renaming a gated metric silently disarms its CI gate"))
+    return findings
+
+
+# ----------------------------------------------------------------- main ----
+
+
+def lint_file(path, fix):
+    with open(path) as f:
+        text = f.read()
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    findings += check_bare_locks(path, stripped)
+
+    header = paired_header(path)
+    texts = [stripped]
+    if header:
+        with open(header) as f:
+            texts.append(strip_comments_and_strings(f.read()))
+    fixes = []
+    findings += check_atomic_orders(path, stripped, atomic_names(texts),
+                                    fixes)
+    findings += check_check_contract(path, text, stripped)
+
+    if fix and fixes:
+        for start, end, repl in sorted(fixes, reverse=True):
+            text = text[:start] + repl + text[end:]
+        with open(path, "w") as f:
+            f.write(text)
+        fixed = {line_of(stripped, s) for s, _, _ in fixes}
+        findings = [fn for fn in findings
+                    if not (fn.rule == "atomic-order" and fn.line in fixed
+                            and "without an explicit" in fn.message)]
+        print(f"{path}: fixed {len(fixes)} defaulted load()/store() "
+              "call(s) to std::memory_order_seq_cst")
+    return findings
+
+
+def collect_paths(paths):
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith((".cpp", ".hpp")):
+                        out.append(os.path.join(root, f))
+        else:
+            out.append(p)
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--fix", action="store_true",
+                    help="rewrite defaulted atomic load()/store() calls to "
+                         "explicit std::memory_order_seq_cst")
+    ap.add_argument("--gates", default=None,
+                    help="gates.json to cross-check against bench sources "
+                         "(default: bench/baselines/gates.json when present)")
+    args = ap.parse_args(argv)
+
+    findings = []
+    for path in collect_paths(args.paths):
+        findings += lint_file(path, args.fix)
+
+    gates = args.gates
+    if gates is None and os.path.exists("bench/baselines/gates.json"):
+        gates = "bench/baselines/gates.json"
+    if gates:
+        findings += check_bench_gates(gates)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_convbound: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

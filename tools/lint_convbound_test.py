@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_convbound.py, run against the fixtures in
+tests/lint_fixtures/. Registered as the `lint_convbound_selftest` ctest;
+the companion `lint_convbound` ctest runs the linter over the real tree."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO, "tools", "lint_convbound.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+
+def run_linter(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout
+
+
+def findings(output, rule):
+    return [ln for ln in output.splitlines() if f"[{rule}]" in ln]
+
+
+class BareLockTest(unittest.TestCase):
+    def test_flags_manual_lock_calls(self):
+        code, out = run_linter("--gates", "",
+                               os.path.join(FIXTURES, "bad_lock.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings(out, "bare-lock")
+        self.assertEqual(len(hits), 4, out)
+        for needle in ("mu_.lock", "mu_.unlock", "stats_mutex.try_lock",
+                       "stats_mutex.unlock"):
+            self.assertTrue(any(needle in h for h in hits), needle)
+        # The RAII guard's unlock() must not be flagged.
+        self.assertFalse(any("guard." in h for h in hits), out)
+
+
+class AtomicOrderTest(unittest.TestCase):
+    def test_flags_defaulted_and_implicit_accesses(self):
+        code, out = run_linter("--gates", "",
+                               os.path.join(FIXTURES, "bad_atomic.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings(out, "atomic-order")
+        self.assertEqual(len(hits), 5, out)
+        self.assertTrue(any("stopped_.load()" in h for h in hits))
+        self.assertTrue(any("started_.store(true)" in h for h in hits))
+        self.assertTrue(any("counter_.fetch_add(1)" in h for h in hits))
+        self.assertEqual(
+            len([h for h in hits if "implicit atomic access" in h]), 2, out)
+        # The non-atomic Ctx::store call must not be flagged.
+        self.assertFalse(any("ctx" in h.lower() for h in hits), out)
+
+
+class CheckContractTest(unittest.TestCase):
+    def test_flags_streams_and_dtor_throws(self):
+        code, out = run_linter("--gates", "",
+                               os.path.join(FIXTURES, "bad_check.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings(out, "check-contract")
+        self.assertEqual(len(hits), 3, out)
+        self.assertEqual(
+            len([h for h in hits if "shift operand" in h]), 2, out)
+        self.assertEqual(
+            len([h for h in hits if "destructor" in h]), 1, out)
+
+
+class GoodFileTest(unittest.TestCase):
+    def test_idiomatic_code_is_clean(self):
+        code, out = run_linter("--gates", "",
+                               os.path.join(FIXTURES, "good.cpp"))
+        self.assertEqual(code, 0, out)
+
+
+class FixModeTest(unittest.TestCase):
+    def test_fix_rewrites_defaulted_load_store(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            target = os.path.join(tmp, "fix_input.cpp")
+            shutil.copy(os.path.join(FIXTURES, "fix_input.cpp"), target)
+            code, out = run_linter("--fix", "--gates", "", target)
+            with open(target) as f:
+                got = f.read()
+            with open(os.path.join(FIXTURES, "fix_expected.cpp")) as f:
+                want = f.read()
+            self.assertEqual(got, want)
+            # fetch_add stays unfixed and keeps the run red.
+            self.assertEqual(code, 1)
+            self.assertTrue(any("fetch_add" in h
+                                for h in findings(out, "atomic-order")), out)
+            # Re-running on the fixed file leaves only the fetch_add finding
+            # and changes nothing (idempotent).
+            code2, out2 = run_linter("--fix", "--gates", "", target)
+            with open(target) as f:
+                self.assertEqual(f.read(), want)
+            self.assertEqual(len(findings(out2, "atomic-order")), 1, out2)
+
+
+class BenchGatesTest(unittest.TestCase):
+    def _write_gates(self, tmp, metric):
+        bench = os.path.join(tmp, "bench")
+        baselines = os.path.join(bench, "baselines")
+        os.makedirs(baselines)
+        with open(os.path.join(bench, "demo.cpp"), "w") as f:
+            f.write('out["modelled_rps"] = rps;\n')
+        gates = os.path.join(baselines, "gates.json")
+        with open(gates, "w") as f:
+            json.dump({"gates": [{"file": "BENCH_demo.json",
+                                  "metric": metric,
+                                  "direction": "higher"}]}, f)
+        return gates
+
+    def test_metric_present_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            gates = self._write_gates(tmp, "modelled_rps")
+            code, out = run_linter(
+                "--gates", gates, os.path.join(FIXTURES, "good.cpp"))
+            self.assertEqual(code, 0, out)
+
+    def test_missing_metric_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            gates = self._write_gates(tmp, "renamed_metric")
+            code, out = run_linter(
+                "--gates", gates, os.path.join(FIXTURES, "good.cpp"))
+            self.assertEqual(code, 1)
+            self.assertTrue(findings(out, "bench-gates"), out)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_sources_are_clean(self):
+        code, out = run_linter(
+            os.path.join(REPO, "src"),
+            os.path.join(REPO, "tools", "convbound_cli.cpp"),
+            os.path.join(REPO, "bench"))
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()
